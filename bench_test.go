@@ -1,0 +1,332 @@
+// Benchmark harness: one testing.B benchmark per figure of the paper's
+// evaluation section (Figs. 2–11) plus the extension experiments X1–X4 from
+// DESIGN.md. Each benchmark regenerates its figure end to end (placement,
+// metric computation, aggregation over the analysis population) and reports
+// the figure's key values via b.ReportMetric so `go test -bench=. -benchmem`
+// prints the numbers EXPERIMENTS.md records.
+//
+// Benchmarks run at a reduced dataset scale (1200 users, 1 repeat) so the
+// whole harness completes in minutes; cmd/dosn-sim regenerates the same
+// figures at any scale.
+package dosn_test
+
+import (
+	"sync"
+	"testing"
+
+	"dosn"
+)
+
+const (
+	benchUsers   = 1200
+	benchSeed    = 42
+	benchRepeats = 1
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *dosn.Suite
+	benchErr   error
+)
+
+// suite lazily synthesizes the two datasets shared by all benchmarks.
+func suite(b *testing.B) *dosn.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = dosn.NewSuite(benchUsers, benchUsers, dosn.Options{
+			MaxDegree:  10,
+			UserDegree: 10,
+			Repeats:    benchRepeats,
+			Seed:       benchSeed,
+		})
+	})
+	if benchErr != nil {
+		b.Fatalf("build suite: %v", benchErr)
+	}
+	return benchSuite
+}
+
+// figValue extracts series sLabel's y at x from a figure (for ReportMetric).
+func figValue(b *testing.B, fig dosn.Figure, label string, xi int) float64 {
+	b.Helper()
+	for _, s := range fig.Series {
+		if s.Label == label {
+			if xi < 0 {
+				xi = len(s.Y) - 1
+			}
+			if xi < len(s.Y) {
+				return s.Y[xi]
+			}
+		}
+	}
+	return -1
+}
+
+// benchPanels regenerates a set of panels b.N times and reports the
+// requested headline value from the first panel.
+func benchPanels(b *testing.B, ids []string, reportSeries, metricName string, xi int) {
+	s := suite(b)
+	b.ResetTimer()
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		for j, id := range ids {
+			fig, err := s.Figure(id)
+			if err != nil {
+				b.Fatalf("figure %s: %v", id, err)
+			}
+			if j == 0 {
+				headline = figValue(b, fig, reportSeries, xi)
+			}
+		}
+	}
+	b.ReportMetric(headline, metricName)
+}
+
+// --- Fig. 2: degree distribution -----------------------------------------
+
+func BenchmarkFig02DegreeDistribution(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var users float64
+	for i := 0; i < b.N; i++ {
+		fig, err := s.Figure("fig2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		users = 0
+		for _, y := range fig.Series[0].Y {
+			users += y
+		}
+	}
+	b.ReportMetric(users, "fb_users")
+}
+
+// --- Figs. 3–7: Facebook sweeps -------------------------------------------
+
+func BenchmarkFig03FacebookConRepAvailability(b *testing.B) {
+	benchPanels(b, []string{"fig3a", "fig3b", "fig3c", "fig3d"}, "MaxAv", "maxav_avail_deg5", 5)
+}
+
+func BenchmarkFig04FacebookUnconRepAvailability(b *testing.B) {
+	benchPanels(b, []string{"fig4a", "fig4b"}, "MaxAv", "maxav_avail_deg5", 5)
+}
+
+func BenchmarkFig05FacebookAoDTime(b *testing.B) {
+	benchPanels(b, []string{"fig5a", "fig5b", "fig5c", "fig5d"}, "MaxAv", "maxav_aodtime_deg5", 5)
+}
+
+func BenchmarkFig06FacebookAoDActivity(b *testing.B) {
+	benchPanels(b, []string{"fig6a", "fig6b", "fig6c", "fig6d"}, "MaxAv", "maxav_aodact_deg5", 5)
+}
+
+func BenchmarkFig07FacebookDelay(b *testing.B) {
+	benchPanels(b, []string{"fig7a", "fig7b", "fig7c", "fig7d"}, "MaxAv", "maxav_delay_h_deg10", -1)
+}
+
+// --- Fig. 8: Sporadic session-length sweep --------------------------------
+
+func BenchmarkFig08SessionLength(b *testing.B) {
+	benchPanels(b, []string{"fig8a", "fig8b", "fig8c", "fig8d"}, "MaxAv", "maxav_avail_longest", -1)
+}
+
+// --- Fig. 9: user-degree sweep ---------------------------------------------
+
+func BenchmarkFig09UserDegree(b *testing.B) {
+	benchPanels(b, []string{"fig9a", "fig9b"}, "MaxAv", "maxav_avail_deg10", -1)
+}
+
+// --- Figs. 10–11: Twitter sweeps -------------------------------------------
+
+func BenchmarkFig10TwitterConRepAvailability(b *testing.B) {
+	benchPanels(b, []string{"fig10a", "fig10b", "fig10c", "fig10d"}, "MaxAv", "maxav_avail_deg5", 5)
+}
+
+func BenchmarkFig11TwitterAoDTime(b *testing.B) {
+	benchPanels(b, []string{"fig11a", "fig11b", "fig11c", "fig11d"}, "MaxAv", "maxav_aodtime_deg5", 5)
+}
+
+// --- X1/X2: protocol-level validation --------------------------------------
+
+func BenchmarkX1ProtocolValidation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var measured, analytic float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset:  s.Facebook,
+			MaxWalls: 15,
+			Days:     7,
+			Seed:     benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured = res.MeasuredMaxHours
+		analytic = res.AnalyticWorstHours
+	}
+	b.ReportMetric(measured, "measured_max_h")
+	b.ReportMetric(analytic, "analytic_bound_h")
+}
+
+func BenchmarkX2ObservedDelay(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var actual, observed float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset:  s.Facebook,
+			Model:    dosn.NewFixedLength(8),
+			MaxWalls: 15,
+			Days:     7,
+			Seed:     benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		actual = res.MeasuredPairHours
+		observed = res.ObservedPairHours
+	}
+	b.ReportMetric(actual, "actual_h")
+	b.ReportMetric(observed, "observed_h")
+}
+
+// --- X3: effective replicas under ConRep -----------------------------------
+
+func BenchmarkX3EffectiveReplicas(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.RunSweep(dosn.SweepConfig{
+			Dataset:    s.Facebook,
+			Model:      dosn.NewFixedLength(2),
+			Mode:       dosn.ConRep,
+			MaxDegree:  10,
+			UserDegree: 10,
+			Repeats:    benchRepeats,
+			Seed:       benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = res.Last(0, dosn.MetricEffectiveReplicas)
+	}
+	b.ReportMetric(eff, "maxav_effective_at_budget10")
+}
+
+// --- X4: replica-host load balance ------------------------------------------
+
+func BenchmarkX4ReplicaLoad(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var cvRandom, cvActive float64
+	for i := 0; i < b.N; i++ {
+		rows, err := dosn.ReplicaLoadBalance(s.Facebook, dosn.NewSporadic(0), dosn.ConRep, 3, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Policy {
+			case "Random":
+				cvRandom = r.CV
+			case "MostActive":
+				cvActive = r.CV
+			}
+		}
+	}
+	b.ReportMetric(cvRandom, "cv_random")
+	b.ReportMetric(cvActive, "cv_mostactive")
+}
+
+// --- A1–A3: ablation benches ------------------------------------------------
+
+func BenchmarkA1ObjectiveAblation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var availObj, actObj float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.ObjectiveAblation(s.Facebook, dosn.NewSporadic(0), dosn.Options{
+			MaxDegree: 5, Repeats: benchRepeats, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		availObj = res.Value(0, 3, dosn.MetricAoDActivity)
+		actObj = res.Value(1, 3, dosn.MetricAoDActivity)
+	}
+	b.ReportMetric(availObj, "maxav_aodact_deg3")
+	b.ReportMetric(actObj, "maxav_activity_aodact_deg3")
+}
+
+func BenchmarkA2HistorySplit(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var hist, oracle float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.HistorySplit(s.Facebook, dosn.NewSporadic(0), 3, 0.5, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hist = res.HistoricalAoDActivity
+		oracle = res.OracleAoDActivity
+	}
+	b.ReportMetric(hist, "historical_aodact")
+	b.ReportMetric(oracle, "oracle_aodact")
+}
+
+func BenchmarkA3Churn(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var maxavAfter3 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := dosn.Churn(s.Facebook, dosn.NewSporadic(0), 5, 2, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxavAfter3 = rows[0].Availability[3]
+	}
+	b.ReportMetric(maxavAfter3, "maxav_avail_after_3_failures")
+}
+
+func BenchmarkA4EagerPushAblation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var eagerDelay, lazyDelay float64
+	for i := 0; i < b.N; i++ {
+		eager, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset: s.Facebook, MaxWalls: 10, Days: 5, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lazy, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset: s.Facebook, MaxWalls: 10, Days: 5, Seed: benchSeed,
+			DisableEagerPush: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eagerDelay = eager.MeasuredPairHours
+		lazyDelay = lazy.MeasuredPairHours
+	}
+	b.ReportMetric(eagerDelay, "eager_pair_h")
+	b.ReportMetric(lazyDelay, "session_only_pair_h")
+}
+
+func BenchmarkX5ReadAvailability(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	var measured, analytic float64
+	for i := 0; i < b.N; i++ {
+		res, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset: s.Facebook, MaxWalls: 15, Days: 7, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured = res.MeasuredAoDTime
+		analytic = res.AnalyticAoDTime
+	}
+	b.ReportMetric(measured, "measured_aodtime")
+	b.ReportMetric(analytic, "analytic_aodtime")
+}

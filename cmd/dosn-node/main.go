@@ -1,0 +1,260 @@
+// Command dosn-node runs a real friend-to-friend OSN node over TCP: it
+// hosts profile walls, authors posts, and periodically synchronizes with its
+// peers using the same version-vector anti-entropy the simulated runtime
+// uses — a Diaspora-style minimal deployment of the paper's architecture.
+//
+// A two-node demo on one machine:
+//
+//	dosn-node -id 1 -listen 127.0.0.1:7001 -walls 1 -post "1:hello from 1" \
+//	          -peers 127.0.0.1:7002 -duration 5s -show 1 &
+//	dosn-node -id 2 -listen 127.0.0.1:7002 -walls 1 \
+//	          -peers 127.0.0.1:7001 -duration 5s -show 1
+//
+// Node 2 replicates wall 1 and converges to node 1's post within a sync
+// round.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dosn/internal/feed"
+	"dosn/internal/store"
+	"dosn/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dosn-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.Int("id", -1, "this node's user ID (required)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		walls     = flag.String("walls", "", "comma-separated wall IDs to host (own wall is always hosted)")
+		peers     = flag.String("peers", "", "comma-separated peer addresses to sync with")
+		posts     = flag.String("post", "", "posts to author, 'wall:text' separated by ';'")
+		fields    = flag.String("field", "", "profile fields to set, 'wall:name=value' separated by ';'")
+		syncEvery = flag.Duration("sync-every", 2*time.Second, "peer sync interval")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to run (0 = until interrupt)")
+		show      = flag.String("show", "", "wall ID to print at exit")
+		timeline  = flag.Int("timeline", 0, "print the n newest feed items across hosted walls at exit")
+		statePath = flag.String("state", "", "snapshot file: load at start (if present), save at exit")
+	)
+	flag.Parse()
+	if *id < 0 {
+		return fmt.Errorf("-id is required")
+	}
+
+	st, err := openState(*statePath, int32(*id))
+	if err != nil {
+		return err
+	}
+	st.Host(int32(*id))
+	if *walls != "" {
+		for _, w := range strings.Split(*walls, ",") {
+			wid, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				return fmt.Errorf("bad wall %q", w)
+			}
+			st.Host(int32(wid))
+		}
+	}
+	now := time.Now().Unix()
+	if err := authorPosts(st, *posts, now); err != nil {
+		return err
+	}
+	if err := setFields(st, *fields, now, int32(*id)); err != nil {
+		return err
+	}
+
+	srv := wire.NewServer(st)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	if *statePath != "" {
+		defer func() {
+			if err := saveState(*statePath, st); err != nil {
+				fmt.Fprintln(os.Stderr, "save state:", err)
+			}
+		}()
+	}
+	defer srv.Close()
+	fmt.Printf("node %d listening on %s, hosting walls %v\n", *id, addr, st.Walls())
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			peerList = append(peerList, strings.TrimSpace(p))
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+	ticker := time.NewTicker(*syncEvery)
+	defer ticker.Stop()
+
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			for _, p := range peerList {
+				stats, err := wire.Sync(p, st)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sync %s: %v (will retry)\n", p, err)
+					continue
+				}
+				if stats.Pulled+stats.Pushed > 0 {
+					fmt.Printf("sync %s: pulled %d, pushed %d posts\n", p, stats.Pulled, stats.Pushed)
+				}
+			}
+		case <-stop:
+			break loop
+		case <-deadline:
+			break loop
+		}
+	}
+
+	if *show != "" {
+		wid, err := strconv.Atoi(*show)
+		if err != nil {
+			return fmt.Errorf("bad -show %q", *show)
+		}
+		ps, err := st.Posts(int32(wid))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wall %d (%d posts):\n", wid, len(ps))
+		for _, p := range ps {
+			fmt.Printf("  [%d] by %d: %s\n", p.CreatedAt, p.ID.Author, p.Body)
+		}
+		fs, err := st.Fields(int32(wid))
+		if err == nil && len(fs) > 0 {
+			fmt.Printf("fields: %v\n", fs)
+		}
+	}
+	if *timeline > 0 {
+		printTimeline(st, *timeline)
+	}
+	return nil
+}
+
+// openState loads a snapshot if path exists, otherwise starts fresh. A
+// snapshot for a different node ID is rejected.
+func openState(path string, id int32) (*store.Store, error) {
+	if path == "" {
+		return store.New(id), nil
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return store.New(id), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := store.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	if st.Node() != id {
+		return nil, fmt.Errorf("state %s belongs to node %d, not %d", path, st.Node(), id)
+	}
+	fmt.Printf("restored state from %s (%d walls)\n", path, len(st.Walls()))
+	return st, nil
+}
+
+// saveState writes the snapshot atomically (temp file + rename).
+func saveState(path string, st *store.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// printTimeline merges every hosted wall into one reverse-chronological
+// feed, newest first.
+func printTimeline(st *store.Store, limit int) {
+	var walls [][]feed.Item
+	for _, w := range st.Walls() {
+		if ps, err := st.Posts(w); err == nil && len(ps) > 0 {
+			walls = append(walls, ps)
+		}
+	}
+	items, _, _ := feed.Page(feed.Merge(walls...), feed.Cursor{}, limit)
+	fmt.Printf("timeline (%d newest across %d walls):\n", len(items), len(walls))
+	for _, it := range items {
+		fmt.Printf("  [%d] wall %d, by %d: %s\n", it.CreatedAt, it.Wall, it.ID.Author, it.Body)
+	}
+}
+
+// authorPosts parses "wall:text;wall:text" and writes the posts locally.
+func authorPosts(st *store.Store, spec string, now int64) error {
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ";") {
+		wallStr, body, ok := strings.Cut(item, ":")
+		if !ok {
+			return fmt.Errorf("bad -post item %q (want wall:text)", item)
+		}
+		wid, err := strconv.Atoi(strings.TrimSpace(wallStr))
+		if err != nil {
+			return fmt.Errorf("bad wall in -post %q", item)
+		}
+		st.Host(int32(wid)) // posting implies replicating locally first
+		if _, err := st.Author(int32(wid), body, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setFields parses "wall:name=value;..." and applies LWW writes.
+func setFields(st *store.Store, spec string, now int64, writer int32) error {
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ";") {
+		wallStr, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return fmt.Errorf("bad -field item %q (want wall:name=value)", item)
+		}
+		name, value, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("bad -field item %q (want wall:name=value)", item)
+		}
+		wid, err := strconv.Atoi(strings.TrimSpace(wallStr))
+		if err != nil {
+			return fmt.Errorf("bad wall in -field %q", item)
+		}
+		st.Host(int32(wid))
+		if _, err := st.SetField(int32(wid), name, store.Field{Value: value, At: now, Writer: writer}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

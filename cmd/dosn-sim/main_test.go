@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestScaleUsers(t *testing.T) {
+	tests := []struct {
+		scale   string
+		fb, tw  int
+		wantErr bool
+	}{
+		{scale: "small", fb: 2000, tw: 2000},
+		{scale: "medium", fb: 5000, tw: 5000},
+		{scale: "paper", fb: 13884, tw: 14933},
+		{scale: "huge", wantErr: true},
+		{scale: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		fb, tw, err := scaleUsers(tt.scale)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("scaleUsers(%q) err = %v", tt.scale, err)
+			continue
+		}
+		if err == nil && (fb != tt.fb || tw != tt.tw) {
+			t.Errorf("scaleUsers(%q) = %d,%d want %d,%d", tt.scale, fb, tw, tt.fb, tt.tw)
+		}
+	}
+}

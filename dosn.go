@@ -1,0 +1,239 @@
+// Package dosn is a from-scratch Go reproduction of "Towards the Realization
+// of Decentralized Online Social Networks: An Empirical Study" (Narendula,
+// Papaioannou, Aberer; ICDCS 2012).
+//
+// The library models friend-to-friend (F2F) profile replication for
+// decentralized online social networks and reproduces the paper's entire
+// evaluation: three replica-placement policies (MaxAv, MostActive, Random),
+// three user online-time models (Sporadic, FixedLength, RandomLength),
+// connected (ConRep) and unconnected (UnconRep) placements, and the four
+// efficiency metrics — availability, availability-on-demand-time,
+// availability-on-demand-activity, and update-propagation delay. Beyond the
+// paper's analytic simulator it includes an executable protocol runtime
+// (anti-entropy replication over a discrete-event simulation, plus a TCP
+// node) that measures what the analytic metrics predict.
+//
+// Quick start:
+//
+//	fb, err := dosn.Facebook(2000, 1)          // synthetic New-Orleans-like trace
+//	if err != nil { ... }
+//	res, err := dosn.RunSweep(dosn.SweepConfig{Dataset: fb})
+//	if err != nil { ... }
+//	for _, s := range res.MetricSeries(dosn.MetricAvailability) {
+//		fmt.Println(s.Label, s.Y)               // one curve per policy, Fig. 3a
+//	}
+//
+// The original Facebook/Twitter traces are not redistributable; the
+// Facebook/Twitter constructors synthesize datasets calibrated to the
+// statistics the paper reports (see DESIGN.md §4).
+package dosn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dosn/internal/core"
+	"dosn/internal/onlinetime"
+	"dosn/internal/plot"
+	"dosn/internal/replica"
+	"dosn/internal/trace"
+)
+
+// Re-exported core types. The internal packages stay internal; these aliases
+// are the supported surface.
+type (
+	// Dataset joins a social graph with its activity trace.
+	Dataset = trace.Dataset
+	// SynthConfig parameterizes synthetic dataset generation.
+	SynthConfig = trace.SynthConfig
+	// OnlineModel approximates per-user online times from activity.
+	OnlineModel = onlinetime.Model
+	// Policy places profile replicas on friends.
+	Policy = replica.Policy
+	// Mode selects connected (ConRep) or unconnected (UnconRep) placement.
+	Mode = replica.Mode
+	// SweepConfig parameterizes a replication-degree sweep.
+	SweepConfig = core.Config
+	// SweepResult holds the aggregated metrics of a sweep.
+	SweepResult = core.Result
+	// Metric identifies one efficiency metric.
+	Metric = core.Metric
+	// Options tunes figure regeneration.
+	Options = core.Options
+	// Suite regenerates any figure of the paper by ID.
+	Suite = core.Suite
+	// Figure is a plottable reproduction of a paper figure.
+	Figure = plot.Figure
+	// Series is one labelled curve of a figure.
+	Series = plot.Series
+	// ProtocolConfig parameterizes the protocol-level validation run.
+	ProtocolConfig = core.ProtocolConfig
+	// ProtocolResult compares analytic predictions with measurements.
+	ProtocolResult = core.ProtocolResult
+	// LoadBalanceRow reports replica-host load fairness for one policy.
+	LoadBalanceRow = core.LoadBalanceRow
+	// HistorySplitResult reports the train-on-history MostActive ablation.
+	HistorySplitResult = core.HistorySplitResult
+	// ChurnRow reports availability degradation under replica failures.
+	ChurnRow = core.ChurnRow
+)
+
+// Placement modes.
+const (
+	// ConRep requires every replica to overlap in time with the owner or an
+	// earlier replica (the privacy-conscious configuration the paper
+	// advocates).
+	ConRep = replica.ConRep
+	// UnconRep places replicas freely; update exchange would use external
+	// storage.
+	UnconRep = replica.UnconRep
+)
+
+// Efficiency metrics (paper §II-C).
+const (
+	MetricAvailability      = core.MetricAvailability
+	MetricAoDTime           = core.MetricAoDTime
+	MetricAoDActivity       = core.MetricAoDActivity
+	MetricDelayHours        = core.MetricDelayHours
+	MetricEffectiveReplicas = core.MetricEffectiveReplicas
+)
+
+// NewSporadic returns the Sporadic online-time model: one session of the
+// given length per activity (0 means the paper's 20-minute default).
+func NewSporadic(session time.Duration) OnlineModel {
+	return onlinetime.Sporadic{SessionLength: session}
+}
+
+// NewFixedLength returns the continuous fixed-window model (the paper uses
+// 2, 4, 6 and 8 hours).
+func NewFixedLength(hours int) OnlineModel { return onlinetime.FixedLength{Hours: hours} }
+
+// NewRandomLength returns the continuous model with a per-user window length
+// drawn uniformly from [2, 8] hours.
+func NewRandomLength() OnlineModel { return onlinetime.RandomLength{} }
+
+// DefaultModels returns the four models the paper's figures evaluate.
+func DefaultModels() []OnlineModel { return onlinetime.DefaultModels() }
+
+// Policies.
+var (
+	// MaxAv greedily maximizes availability (set-cover heuristic, §III-A).
+	MaxAv Policy = replica.MaxAv{}
+	// MostActive picks the friends with the most interactions (§III-B).
+	MostActive Policy = replica.MostActive{}
+	// RandomPolicy picks uniformly random friends (§III-C).
+	RandomPolicy Policy = replica.Random{}
+)
+
+// DefaultPolicies returns MaxAv, MostActive and Random in plot order.
+func DefaultPolicies() []Policy { return replica.DefaultPolicies() }
+
+// PaperScale constants: the filtered trace sizes the paper reports.
+const (
+	PaperFacebookUsers = trace.PaperFacebookUsers
+	PaperTwitterUsers  = trace.PaperTwitterUsers
+)
+
+// Facebook synthesizes a Facebook-like dataset (New Orleans wall-post trace
+// shape: undirected friendships, average degree ≈41, ≈50 wall posts per
+// user) with the given user count and seed, filtered to users with at least
+// 10 activities exactly as the paper does.
+func Facebook(users int, seed int64) (*Dataset, error) {
+	cfg := trace.DefaultFacebookConfig(users)
+	cfg.Seed = seed
+	return synthesizeFiltered(cfg)
+}
+
+// Twitter synthesizes a Twitter-like dataset (directed follower graph,
+// average follower count ≈76, tweets mentioning followees) with the given
+// user count and seed, filtered like the paper's trace.
+func Twitter(users int, seed int64) (*Dataset, error) {
+	cfg := trace.DefaultTwitterConfig(users)
+	cfg.Seed = seed
+	return synthesizeFiltered(cfg)
+}
+
+// Synthesize generates a dataset from a custom configuration (no filtering).
+func Synthesize(cfg SynthConfig) (*Dataset, error) { return trace.Synthesize(cfg) }
+
+// FacebookConfig returns the default Facebook-like generator configuration
+// for customization before calling Synthesize.
+func FacebookConfig(users int) SynthConfig { return trace.DefaultFacebookConfig(users) }
+
+// TwitterConfig returns the default Twitter-like generator configuration.
+func TwitterConfig(users int) SynthConfig { return trace.DefaultTwitterConfig(users) }
+
+func synthesizeFiltered(cfg SynthConfig) (*Dataset, error) {
+	d, err := trace.Synthesize(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dosn: synthesize %s: %w", cfg.Name, err)
+	}
+	return d.FilterMinActivity(10), nil
+}
+
+// NewSuite synthesizes both datasets and returns a figure suite that can
+// regenerate every figure of the paper. users sets the per-dataset scale
+// (e.g. 2000 for laptop runs, PaperFacebookUsers/PaperTwitterUsers for
+// paper-scale runs).
+func NewSuite(fbUsers, twUsers int, opts Options) (*Suite, error) {
+	fb, err := Facebook(fbUsers, 1)
+	if err != nil {
+		return nil, err
+	}
+	tw, err := Twitter(twUsers, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Facebook: fb, Twitter: tw, Opts: opts}, nil
+}
+
+// RunSweep executes a replication-degree sweep (the core experiment behind
+// figures 3–7 and 10–11).
+func RunSweep(cfg SweepConfig) (*SweepResult, error) { return core.Run(cfg) }
+
+// RunProtocolValidation executes the discrete-event OSN runtime on a
+// policy-placed sample of walls and compares measured delivery delays with
+// the analytic update-propagation-delay metric.
+func RunProtocolValidation(cfg ProtocolConfig) (*ProtocolResult, error) {
+	return core.RunProtocolValidation(cfg)
+}
+
+// ReplicaLoadBalance reports how evenly each policy spreads replica-hosting
+// duty over the nodes (the fairness requirement of §II-B1).
+func ReplicaLoadBalance(ds *Dataset, model OnlineModel, mode Mode, budget int, seed int64) ([]LoadBalanceRow, error) {
+	return core.ReplicaLoadBalance(ds, model, mode, budget, seed)
+}
+
+// NewMaxAvActivity returns the MaxAv variant whose set-cover universe is the
+// past activity on the owner's profile (§III-A's availability-on-demand-
+// activity objective) rather than the friends' online time.
+func NewMaxAvActivity() Policy {
+	return replica.MaxAv{Objective: replica.ObjectiveOnDemandActivity}
+}
+
+// ObjectiveAblation compares MaxAv's availability objective against its
+// on-demand-activity objective (plus Random as the floor).
+func ObjectiveAblation(ds *Dataset, model OnlineModel, opts Options) (*SweepResult, error) {
+	return core.ObjectiveAblation(ds, model, opts)
+}
+
+// HistorySplit trains MostActive on the first trainFraction of the trace and
+// evaluates availability-on-demand-activity on the remainder, against an
+// oracle ranking and a random floor.
+func HistorySplit(ds *Dataset, model OnlineModel, budget int, trainFraction float64, seed int64) (*HistorySplitResult, error) {
+	return core.HistorySplit(ds, model, budget, trainFraction, seed)
+}
+
+// Churn measures availability as randomly chosen replicas fail, per policy.
+func Churn(ds *Dataset, model OnlineModel, budget, repeats int, seed int64) ([]ChurnRow, error) {
+	return core.Churn(ds, model, budget, repeats, seed)
+}
+
+// WriteDataset serializes a dataset (graph, then activities).
+func WriteDataset(d *Dataset, graphW, actW io.Writer) error { return d.Write(graphW, actW) }
+
+// ReadDataset deserializes a dataset written by WriteDataset.
+func ReadDataset(name string, graphR, actR io.Reader) (*Dataset, error) {
+	return trace.Read(name, graphR, actR)
+}

@@ -1,0 +1,140 @@
+package dosn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallFacebook(t testing.TB) *Dataset {
+	t.Helper()
+	cfg := FacebookConfig(400)
+	cfg.MeanDegree = 12
+	cfg.SigmaDegree = 0.6
+	cfg.Seed = 21
+	d, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return d
+}
+
+func TestFacebookTwitterConstructors(t *testing.T) {
+	fb, err := Facebook(300, 1)
+	if err != nil {
+		t.Fatalf("Facebook: %v", err)
+	}
+	if fb.Name != "facebook" || fb.NumUsers() == 0 {
+		t.Errorf("fb = %s/%d users", fb.Name, fb.NumUsers())
+	}
+	tw, err := Twitter(300, 2)
+	if err != nil {
+		t.Fatalf("Twitter: %v", err)
+	}
+	if tw.Name != "twitter" || tw.NumUsers() == 0 {
+		t.Errorf("tw = %s/%d users", tw.Name, tw.NumUsers())
+	}
+	// The paper's filter: every kept user created ≥10 activities in the
+	// unfiltered trace, so the filtered averages stay near the calibration.
+	if perUser := fb.Stats().ActivitiesPerUser; perUser < 10 {
+		t.Errorf("filtered facebook has %.1f activities/user", perUser)
+	}
+}
+
+func TestRunSweepThroughFacade(t *testing.T) {
+	ds := smallFacebook(t)
+	res, err := RunSweep(SweepConfig{
+		Dataset:    ds,
+		Model:      NewSporadic(0),
+		Mode:       ConRep,
+		MaxDegree:  5,
+		UserDegree: 10,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	series := res.MetricSeries(MetricAvailability)
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 6 {
+			t.Errorf("%s has %d points, want 6", s.Label, len(s.X))
+		}
+	}
+}
+
+func TestModelConstructors(t *testing.T) {
+	if NewSporadic(10*time.Minute).Name() != "Sporadic" {
+		t.Error("Sporadic name")
+	}
+	if NewFixedLength(4).Name() != "FixedLength(4h)" {
+		t.Error("FixedLength name")
+	}
+	if NewRandomLength().Name() != "RandomLength" {
+		t.Error("RandomLength name")
+	}
+	if len(DefaultModels()) != 4 || len(DefaultPolicies()) != 3 {
+		t.Error("default sets")
+	}
+	if MaxAv.Name() != "MaxAv" || MostActive.Name() != "MostActive" || RandomPolicy.Name() != "Random" {
+		t.Error("policy vars")
+	}
+}
+
+func TestDatasetRoundTripThroughFacade(t *testing.T) {
+	ds := smallFacebook(t)
+	var g, a bytes.Buffer
+	if err := WriteDataset(ds, &g, &a); err != nil {
+		t.Fatalf("WriteDataset: %v", err)
+	}
+	back, err := ReadDataset(ds.Name, &g, &a)
+	if err != nil {
+		t.Fatalf("ReadDataset: %v", err)
+	}
+	if back.NumUsers() != ds.NumUsers() || len(back.Activities) != len(ds.Activities) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSuiteThroughFacade(t *testing.T) {
+	s, err := NewSuite(300, 300, Options{MaxDegree: 4, Repeats: 1, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	fig, err := s.Figure("fig2")
+	if err != nil {
+		t.Fatalf("fig2: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := fig.PrintTable(&buf); err != nil {
+		t.Fatalf("PrintTable: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Facebook") {
+		t.Errorf("fig2 table:\n%s", buf.String())
+	}
+}
+
+func TestProtocolValidationThroughFacade(t *testing.T) {
+	ds := smallFacebook(t)
+	res, err := RunProtocolValidation(ProtocolConfig{Dataset: ds, MaxWalls: 5, Days: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunProtocolValidation: %v", err)
+	}
+	if res.Walls == 0 {
+		t.Error("no walls simulated")
+	}
+}
+
+func TestLoadBalanceThroughFacade(t *testing.T) {
+	ds := smallFacebook(t)
+	rows, err := ReplicaLoadBalance(ds, NewSporadic(0), ConRep, 3, 1)
+	if err != nil {
+		t.Fatalf("ReplicaLoadBalance: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,116 @@
+// Facebook study: reproduces the shape of the paper's Facebook evaluation
+// (Figs. 3–7) on a synthetic New-Orleans-like trace — availability,
+// availability-on-demand, and update-propagation delay across all four
+// online-time models, in both ConRep and UnconRep placements, plus the
+// session-length sensitivity of the Sporadic model (Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dosn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ds, err := dosn.Facebook(1500, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("facebook-like dataset:", ds.Stats())
+
+	models := dosn.DefaultModels()
+	metrics := []struct {
+		m     dosn.Metric
+		label string
+	}{
+		{dosn.MetricAvailability, "availability"},
+		{dosn.MetricAoDTime, "availability-on-demand-time"},
+		{dosn.MetricAoDActivity, "availability-on-demand-activity"},
+		{dosn.MetricDelayHours, "update propagation delay (h)"},
+	}
+
+	// Figs. 3, 5, 6, 7: degree sweep per model, ConRep.
+	for _, model := range models {
+		res, err := dosn.RunSweep(dosn.SweepConfig{
+			Dataset:    ds,
+			Model:      model,
+			Mode:       dosn.ConRep,
+			MaxDegree:  10,
+			UserDegree: 10,
+			Repeats:    3,
+			Seed:       11,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== ConRep, %s (%d users) ===\n", model.Name(), res.Users)
+		for _, mm := range metrics {
+			fmt.Printf("%-34s", mm.label+" @deg{1,3,10}:")
+			for pi, p := range res.Policies {
+				fmt.Printf("  %s=%.2f/%.2f/%.2f", p,
+					res.Value(pi, 1, mm.m), res.Value(pi, 3, mm.m), res.Last(pi, mm.m))
+			}
+			fmt.Println()
+		}
+	}
+
+	// Fig. 4: UnconRep lifts the connectivity constraint.
+	for _, hours := range []int{2, 8} {
+		model := dosn.NewFixedLength(hours)
+		con, err := sweep(ds, model, dosn.ConRep)
+		if err != nil {
+			return err
+		}
+		unc, err := sweep(ds, model, dosn.UnconRep)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n=== ConRep vs UnconRep, %s, MaxAv availability ===\n", model.Name())
+		fmt.Printf("%-8s%12s%12s\n", "degree", "ConRep", "UnconRep")
+		for di, d := range con.Degrees {
+			fmt.Printf("%-8d%12.3f%12.3f\n", d, con.Value(0, di, dosn.MetricAvailability),
+				unc.Value(0, di, dosn.MetricAvailability))
+		}
+	}
+
+	// Fig. 8: session-length sensitivity at replication degree 3.
+	fmt.Println("\n=== Sporadic session-length sweep (degree 3, MaxAv) ===")
+	fmt.Printf("%-14s%14s%14s\n", "session (s)", "availability", "delay (h)")
+	for _, sec := range []int{100, 1000, 10000, 100000} {
+		res, err := dosn.RunSweep(dosn.SweepConfig{
+			Dataset:    ds,
+			Model:      dosn.NewSporadic(time.Duration(sec) * time.Second),
+			Mode:       dosn.ConRep,
+			MaxDegree:  3,
+			UserDegree: 10,
+			Repeats:    2,
+			Seed:       5,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14d%14.3f%14.1f\n", sec,
+			res.Last(0, dosn.MetricAvailability), res.Last(0, dosn.MetricDelayHours))
+	}
+	return nil
+}
+
+func sweep(ds *dosn.Dataset, model dosn.OnlineModel, mode dosn.Mode) (*dosn.SweepResult, error) {
+	return dosn.RunSweep(dosn.SweepConfig{
+		Dataset:    ds,
+		Model:      model,
+		Mode:       mode,
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    2,
+		Seed:       11,
+	})
+}

@@ -1,0 +1,75 @@
+// Quickstart: synthesize a small Facebook-like dataset, place profile
+// replicas with the three policies of the paper, and print the
+// availability-vs-replication-degree curve (the paper's Fig. 3a) plus the
+// analytic worst-case update-propagation delay.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dosn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A calibrated synthetic trace (the real trace is not
+	// redistributable): undirected friendships, wall posts, timestamps.
+	ds, err := dosn.Facebook(1000, 7)
+	if err != nil {
+		return err
+	}
+	fmt.Println("dataset:", ds.Stats())
+
+	// 2. Sweep the replication degree 0..10 for degree-10 users under the
+	// Sporadic online-time model with connected replicas (ConRep) — the
+	// paper's headline configuration.
+	res, err := dosn.RunSweep(dosn.SweepConfig{
+		Dataset:    ds,
+		Model:      dosn.NewSporadic(0), // 0 = the paper's 20-minute default
+		Mode:       dosn.ConRep,
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    3,
+		Seed:       1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. Read the curves: one per policy.
+	fmt.Printf("\navailability vs replication degree (%d degree-10 users):\n", res.Users)
+	fmt.Printf("%-8s", "degree")
+	for _, p := range res.Policies {
+		fmt.Printf("%12s", p)
+	}
+	fmt.Println()
+	for di, d := range res.Degrees {
+		fmt.Printf("%-8d", d)
+		for pi := range res.Policies {
+			fmt.Printf("%12.3f", res.Value(pi, di, dosn.MetricAvailability))
+		}
+		fmt.Println()
+	}
+
+	// 4. The price of availability: worst-case update propagation delay.
+	fmt.Printf("\nworst-case update propagation delay at degree 10:\n")
+	for pi, p := range res.Policies {
+		fmt.Printf("  %-12s %6.1f hours\n", p, res.Last(pi, dosn.MetricDelayHours))
+	}
+
+	// 5. Render the figure like the paper plots it.
+	fig := dosn.Figure{
+		ID: "quickstart", Title: "Availability (Sporadic, ConRep)",
+		XLabel: "replication degree", YLabel: "availability",
+		Series: res.MetricSeries(dosn.MetricAvailability),
+	}
+	fmt.Println()
+	return fig.Render(os.Stdout, 60, 12)
+}

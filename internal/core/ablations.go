@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dosn/internal/interval"
+	"dosn/internal/metrics"
+	"dosn/internal/onlinetime"
+	"dosn/internal/replica"
+	"dosn/internal/socialgraph"
+	"dosn/internal/stats"
+	"dosn/internal/trace"
+)
+
+// ActivityMinutes returns the set of minutes-of-day at which the given
+// activities occurred — the set-cover universe of MaxAv's
+// on-demand-activity objective (§III-A).
+func ActivityMinutes(acts []trace.Activity) interval.Set {
+	ivs := make([]interval.Interval, 0, len(acts))
+	for _, a := range acts {
+		m := a.MinuteOfDay()
+		ivs = append(ivs, interval.Interval{Start: m, End: m + 1})
+	}
+	return interval.NewSet(ivs...)
+}
+
+// ObjectiveAblation compares MaxAv's two set-cover objectives (availability
+// vs on-demand-activity) head to head; the activity-targeted variant should
+// win on AoD-activity and lose on raw availability (ablation A1 in
+// DESIGN.md). The returned Result carries both variants plus Random as the
+// floor.
+func ObjectiveAblation(ds *trace.Dataset, model onlinetime.Model, opts Options) (*Result, error) {
+	opts = opts.fill()
+	return Run(Config{
+		Dataset: ds,
+		Model:   model,
+		Mode:    replica.ConRep,
+		Policies: []replica.Policy{
+			replica.MaxAv{},
+			replica.MaxAv{Objective: replica.ObjectiveOnDemandActivity},
+			replica.Random{},
+		},
+		MaxDegree:  opts.MaxDegree,
+		UserDegree: opts.UserDegree,
+		Repeats:    opts.Repeats,
+		Seed:       opts.Seed,
+		Workers:    opts.Workers,
+	})
+}
+
+// HistorySplitResult reports ablation A2: how well MostActive trained on
+// past interactions predicts future activity coverage.
+type HistorySplitResult struct {
+	Users int
+	// HistoricalAoDActivity is the AoD-activity on the evaluation window
+	// when replicas are ranked by interactions from the training window —
+	// the deployable configuration the paper argues for in §V-C
+	// ("activities of friends ... can be estimated locally based on
+	// historical data").
+	HistoricalAoDActivity float64
+	// OracleAoDActivity ranks on the evaluation window itself (future
+	// knowledge): the headroom above Historical is the cost of prediction.
+	OracleAoDActivity float64
+	// RandomAoDActivity is the no-knowledge floor.
+	RandomAoDActivity float64
+}
+
+// HistorySplit trains MostActive on the first `trainFraction` of the trace
+// and evaluates availability-on-demand-activity on the remainder.
+func HistorySplit(ds *trace.Dataset, model onlinetime.Model, budget int, trainFraction float64, seed int64) (*HistorySplitResult, error) {
+	if ds == nil {
+		return nil, ErrNoDataset
+	}
+	if model == nil {
+		model = onlinetime.Sporadic{}
+	}
+	if budget <= 0 {
+		budget = 3
+	}
+	if trainFraction <= 0 || trainFraction >= 1 {
+		return nil, fmt.Errorf("core: trainFraction %v outside (0,1)", trainFraction)
+	}
+	from, to, ok := ds.TimeBounds()
+	if !ok {
+		return nil, fmt.Errorf("core: empty trace: %w", ErrNoUsers)
+	}
+	split := from.Add(time.Duration(float64(to.Sub(from)) * trainFraction))
+
+	schedules := model.ScheduleAll(ds, rand.New(rand.NewSource(mix(seed, 21))))
+	degree, ok := ds.Graph.ModalDegree(5)
+	if !ok {
+		return nil, ErrNoUsers
+	}
+	users := ds.Graph.UsersWithDegree(degree)
+	if len(users) == 0 {
+		return nil, ErrNoUsers
+	}
+
+	var hist, oracle, random stats.Welford
+	for i, u := range users {
+		evalActs := ds.ReceivedByBetween(u, split, to)
+		if len(evalActs) == 0 {
+			continue
+		}
+		base := replica.Input{
+			Owner:      u,
+			Candidates: ds.Graph.Neighbors(u),
+			Schedules:  schedules,
+			Mode:       replica.ConRep,
+			Budget:     budget,
+		}
+		evaluate := func(counts map[socialgraph.UserID]int, p replica.Policy, w *stats.Welford, salt int64) {
+			in := base
+			in.InteractionCounts = counts
+			rng := rand.New(rand.NewSource(mix(seed, salt, int64(i))))
+			replicas := p.Select(in, rng)
+			avail := metrics.AvailabilitySet(u, replicas, schedules)
+			if v, ok := metrics.AvailabilityOnDemandActivity(avail, evalActs); ok {
+				w.Add(v)
+			}
+		}
+		evaluate(ds.InteractionCountsBetween(u, from, split), replica.MostActive{}, &hist, 1)
+		evaluate(ds.InteractionCountsBetween(u, split, to), replica.MostActive{}, &oracle, 2)
+		evaluate(nil, replica.Random{}, &random, 3)
+	}
+	return &HistorySplitResult{
+		Users:                 hist.N(),
+		HistoricalAoDActivity: hist.Mean(),
+		OracleAoDActivity:     oracle.Mean(),
+		RandomAoDActivity:     random.Mean(),
+	}, nil
+}
+
+// ChurnRow reports availability after a number of replica failures for one
+// policy (ablation A3: robustness of the placement to replica churn, the
+// flip side of the paper's privacy argument for minimizing the degree).
+type ChurnRow struct {
+	Policy string
+	// Availability[j] is the mean availability after j randomly chosen
+	// replicas fail, j = 0..budget.
+	Availability []float64
+}
+
+// Churn places replicas with each policy at the given budget and measures
+// availability as replicas are removed uniformly at random (averaged over
+// users and `repeats` failure draws).
+func Churn(ds *trace.Dataset, model onlinetime.Model, budget, repeats int, seed int64) ([]ChurnRow, error) {
+	if ds == nil {
+		return nil, ErrNoDataset
+	}
+	if model == nil {
+		model = onlinetime.Sporadic{}
+	}
+	if budget <= 0 {
+		budget = 5
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	schedules := model.ScheduleAll(ds, rand.New(rand.NewSource(mix(seed, 31))))
+	degree, ok := ds.Graph.ModalDegree(5)
+	if !ok {
+		return nil, ErrNoUsers
+	}
+	users := ds.Graph.UsersWithDegree(degree)
+	if len(users) == 0 {
+		return nil, ErrNoUsers
+	}
+
+	rows := make([]ChurnRow, 0, 3)
+	for pi, p := range replica.DefaultPolicies() {
+		acc := make([]stats.Welford, budget+1)
+		for ui, u := range users {
+			in := replica.Input{
+				Owner:             u,
+				Candidates:        ds.Graph.Neighbors(u),
+				Schedules:         schedules,
+				InteractionCounts: ds.InteractionCounts(u),
+				Mode:              replica.ConRep,
+				Budget:            budget,
+			}
+			rng := rand.New(rand.NewSource(mix(seed, int64(pi), int64(ui))))
+			replicas := p.Select(in, rng)
+			for j := 0; j <= budget; j++ {
+				if j > len(replicas) {
+					break
+				}
+				for r := 0; r < repeats; r++ {
+					alive := failRandom(replicas, j, rng)
+					acc[j].Add(metrics.Availability(u, alive, schedules))
+				}
+			}
+		}
+		row := ChurnRow{Policy: p.Name(), Availability: make([]float64, budget+1)}
+		for j := range acc {
+			row.Availability[j] = acc[j].Mean()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// failRandom returns a copy of replicas with j random entries removed.
+func failRandom(replicas []socialgraph.UserID, j int, rng *rand.Rand) []socialgraph.UserID {
+	if j <= 0 {
+		return replicas
+	}
+	if j >= len(replicas) {
+		return nil
+	}
+	perm := rng.Perm(len(replicas))
+	alive := make([]socialgraph.UserID, 0, len(replicas)-j)
+	for _, idx := range perm[j:] {
+		alive = append(alive, replicas[idx])
+	}
+	return alive
+}

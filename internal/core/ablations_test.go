@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dosn/internal/interval"
+	"dosn/internal/onlinetime"
+	"dosn/internal/trace"
+)
+
+func TestActivityMinutes(t *testing.T) {
+	mk := func(min int) trace.Activity {
+		return trace.Activity{At: trace.Epoch.Add(time.Duration(min) * time.Minute)}
+	}
+	s := ActivityMinutes([]trace.Activity{mk(10), mk(10), mk(100)})
+	if s.Len() != 2 {
+		t.Errorf("ActivityMinutes Len = %d, want 2 distinct minutes", s.Len())
+	}
+	if !s.Contains(10) || !s.Contains(100) || s.Contains(50) {
+		t.Errorf("ActivityMinutes = %s", s)
+	}
+	if !ActivityMinutes(nil).IsEmpty() {
+		t.Error("no activities should give the empty set")
+	}
+	_ = interval.Empty // keep import for clarity of intent
+}
+
+func TestObjectiveAblation(t *testing.T) {
+	ds := testDataset(t)
+	res, err := ObjectiveAblation(ds, onlinetime.Sporadic{}, Options{
+		MaxDegree: 5, UserDegree: 10, Repeats: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("ObjectiveAblation: %v", err)
+	}
+	if len(res.Policies) != 3 || res.Policies[1] != "MaxAv(activity)" {
+		t.Fatalf("policies = %v", res.Policies)
+	}
+	availIdx, actIdx, rndIdx := 0, 1, 2
+	// The activity-targeted objective must beat Random on AoD-activity at
+	// mid budgets and must not beat plain MaxAv on raw availability (it
+	// spends budget only where activity happens).
+	deg := 3
+	actOnAct := res.Value(actIdx, deg, MetricAoDActivity)
+	rndOnAct := res.Value(rndIdx, deg, MetricAoDActivity)
+	if actOnAct+1e-9 < rndOnAct {
+		t.Errorf("MaxAv(activity) AoD-activity %.3f below Random %.3f", actOnAct, rndOnAct)
+	}
+	availOnAvail := res.Value(availIdx, deg, MetricAvailability)
+	actOnAvail := res.Value(actIdx, deg, MetricAvailability)
+	if actOnAvail > availOnAvail+1e-9 {
+		t.Errorf("MaxAv(activity) availability %.3f should not exceed MaxAv %.3f",
+			actOnAvail, availOnAvail)
+	}
+}
+
+func TestHistorySplit(t *testing.T) {
+	ds := testDataset(t)
+	res, err := HistorySplit(ds, onlinetime.Sporadic{}, 3, 0.5, 5)
+	if err != nil {
+		t.Fatalf("HistorySplit: %v", err)
+	}
+	if res.Users == 0 {
+		t.Fatal("no users evaluated")
+	}
+	for name, v := range map[string]float64{
+		"historical": res.HistoricalAoDActivity,
+		"oracle":     res.OracleAoDActivity,
+		"random":     res.RandomAoDActivity,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s AoD-activity = %v outside [0,1]", name, v)
+		}
+	}
+	// The oracle has future knowledge: it cannot lose to the historical
+	// ranking by a wide margin (sampling noise allows small inversions).
+	if res.HistoricalAoDActivity > res.OracleAoDActivity+0.1 {
+		t.Errorf("historical %.3f implausibly above oracle %.3f",
+			res.HistoricalAoDActivity, res.OracleAoDActivity)
+	}
+}
+
+func TestHistorySplitValidation(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := HistorySplit(nil, nil, 3, 0.5, 1); !errors.Is(err, ErrNoDataset) {
+		t.Errorf("err = %v, want ErrNoDataset", err)
+	}
+	if _, err := HistorySplit(ds, nil, 3, 0, 1); err == nil {
+		t.Error("trainFraction 0 must fail")
+	}
+	if _, err := HistorySplit(ds, nil, 3, 1, 1); err == nil {
+		t.Error("trainFraction 1 must fail")
+	}
+}
+
+func TestChurnMonotoneDegradation(t *testing.T) {
+	ds := testDataset(t)
+	rows, err := Churn(ds, onlinetime.Sporadic{}, 5, 3, 2)
+	if err != nil {
+		t.Fatalf("Churn: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Availability) != 6 {
+			t.Fatalf("%s availability points = %d", row.Policy, len(row.Availability))
+		}
+		for j := 1; j < len(row.Availability); j++ {
+			if row.Availability[j] > row.Availability[j-1]+1e-9 {
+				t.Errorf("%s: availability rose from %.3f to %.3f at %d failures",
+					row.Policy, row.Availability[j-1], row.Availability[j], j)
+			}
+		}
+		// All replicas failed → only the owner remains; availability must
+		// stay positive (the owner's own sessions).
+		last := row.Availability[len(row.Availability)-1]
+		if last <= 0 {
+			t.Errorf("%s: availability after total churn = %v", row.Policy, last)
+		}
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	if _, err := Churn(nil, nil, 0, 0, 1); !errors.Is(err, ErrNoDataset) {
+		t.Errorf("err = %v, want ErrNoDataset", err)
+	}
+}

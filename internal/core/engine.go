@@ -1,0 +1,333 @@
+// Package core implements the paper's trace-replay simulator: it computes
+// profile replication points for every user under a replica-placement policy
+// and an online-time model, replays the activity trace, and measures the
+// efficiency metrics of §II-C as the replication degree varies (§IV-B).
+//
+// The engine exploits the fact that all three policies are incremental (the
+// selection for budget r is a prefix of the selection for budget r+1), so a
+// full 0..MaxDegree sweep costs one policy run per user. Users are processed
+// by a bounded worker pool and reduced with mergeable Welford accumulators,
+// so sweeps over tens of thousands of users run in seconds and results are
+// independent of scheduling order.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"dosn/internal/interval"
+	"dosn/internal/metrics"
+	"dosn/internal/onlinetime"
+	"dosn/internal/replica"
+	"dosn/internal/socialgraph"
+	"dosn/internal/stats"
+	"dosn/internal/trace"
+)
+
+// Metric identifies one of the efficiency metrics a sweep records.
+type Metric int
+
+const (
+	// MetricAvailability is the fraction of the day the profile is online.
+	MetricAvailability Metric = iota + 1
+	// MetricAoDTime is availability-on-demand-time.
+	MetricAoDTime
+	// MetricAoDActivity is availability-on-demand-activity.
+	MetricAoDActivity
+	// MetricDelayHours is the worst-case update-propagation delay in hours.
+	MetricDelayHours
+	// MetricEffectiveReplicas is the number of replicas the policy actually
+	// used (ConRep may use fewer than the budget; paper §V-A1).
+	MetricEffectiveReplicas
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricAvailability:
+		return "availability"
+	case MetricAoDTime:
+		return "availability-on-demand-time"
+	case MetricAoDActivity:
+		return "availability-on-demand-activity"
+	case MetricDelayHours:
+		return "delay (in hours)"
+	case MetricEffectiveReplicas:
+		return "effective replicas"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Config parameterizes one replication-degree sweep.
+type Config struct {
+	// Dataset is the trace to replay.
+	Dataset *trace.Dataset
+	// Model approximates user online times.
+	Model onlinetime.Model
+	// Mode selects ConRep or UnconRep placement.
+	Mode replica.Mode
+	// Policies are evaluated side by side; defaults to the paper's three.
+	Policies []replica.Policy
+	// MaxDegree is the largest replication degree; the sweep covers
+	// 0..MaxDegree. The paper uses 10.
+	MaxDegree int
+	// UserDegree restricts the user population to users with exactly this
+	// many friends/followers (the paper uses degree 10, the modal degree of
+	// both datasets). Ignored when Users is set. Zero selects the modal
+	// degree >= 5 automatically.
+	UserDegree int
+	// Users explicitly lists the users to average over.
+	Users []socialgraph.UserID
+	// Repeats re-runs the experiment with fresh randomness and averages,
+	// as the paper does (5×) for randomized configurations. Default 1.
+	Repeats int
+	// Seed drives all randomness in the sweep.
+	Seed int64
+	// Workers bounds the worker pool; default runtime.NumCPU().
+	Workers int
+}
+
+// Errors returned by Run.
+var (
+	ErrNoDataset = errors.New("core: config needs a dataset")
+	ErrNoUsers   = errors.New("core: no users match the requested degree")
+)
+
+func (c *Config) fill() error {
+	if c.Dataset == nil {
+		return ErrNoDataset
+	}
+	if c.Model == nil {
+		c.Model = onlinetime.Sporadic{}
+	}
+	if c.Mode == 0 {
+		c.Mode = replica.ConRep
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = replica.DefaultPolicies()
+	}
+	if c.MaxDegree <= 0 {
+		c.MaxDegree = 10
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if len(c.Users) == 0 {
+		deg := c.UserDegree
+		if deg <= 0 {
+			d, ok := c.Dataset.Graph.ModalDegree(5)
+			if !ok {
+				return ErrNoUsers
+			}
+			deg = d
+		}
+		c.Users = c.Dataset.Graph.UsersWithDegree(deg)
+		if len(c.Users) == 0 {
+			return fmt.Errorf("%w: degree %d", ErrNoUsers, deg)
+		}
+	}
+	return nil
+}
+
+// Cell is one aggregated data point of a sweep: a (policy, degree) pair.
+type Cell struct {
+	Availability stats.Welford
+	AoDTime      stats.Welford
+	AoDActivity  stats.Welford
+	DelayHours   stats.Welford
+	Effective    stats.Welford
+}
+
+func (c *Cell) merge(o *Cell) {
+	c.Availability.Merge(o.Availability)
+	c.AoDTime.Merge(o.AoDTime)
+	c.AoDActivity.Merge(o.AoDActivity)
+	c.DelayHours.Merge(o.DelayHours)
+	c.Effective.Merge(o.Effective)
+}
+
+// value returns the mean of the requested metric.
+func (c *Cell) value(m Metric) float64 {
+	switch m {
+	case MetricAvailability:
+		return c.Availability.Mean()
+	case MetricAoDTime:
+		return c.AoDTime.Mean()
+	case MetricAoDActivity:
+		return c.AoDActivity.Mean()
+	case MetricDelayHours:
+		return c.DelayHours.Mean()
+	case MetricEffectiveReplicas:
+		return c.Effective.Mean()
+	default:
+		return 0
+	}
+}
+
+// Result is the outcome of a sweep: one Cell per (policy, degree).
+type Result struct {
+	DatasetName string
+	ModelName   string
+	Mode        replica.Mode
+	Degrees     []int    // 0..MaxDegree
+	Policies    []string // policy names, plot order
+	Users       int      // users averaged over
+	Repeats     int
+	Cells       [][]Cell // [policy][degreeIndex]
+}
+
+// Value returns the mean of metric m for the given policy index and degree
+// index.
+func (r *Result) Value(policy, degreeIdx int, m Metric) float64 {
+	return r.Cells[policy][degreeIdx].value(m)
+}
+
+// Run executes the sweep described by cfg.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ds := cfg.Dataset
+	res := &Result{
+		DatasetName: ds.Name,
+		ModelName:   cfg.Model.Name(),
+		Mode:        cfg.Mode,
+		Users:       len(cfg.Users),
+		Repeats:     cfg.Repeats,
+	}
+	for d := 0; d <= cfg.MaxDegree; d++ {
+		res.Degrees = append(res.Degrees, d)
+	}
+	for _, p := range cfg.Policies {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	res.Cells = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
+
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		schedules := cfg.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))))
+		grid := sweepOnce(cfg, schedules, rep)
+		mergeGrids(res.Cells, grid)
+	}
+	return res, nil
+}
+
+func newGrid(policies, degrees int) [][]Cell {
+	g := make([][]Cell, policies)
+	for i := range g {
+		g[i] = make([]Cell, degrees)
+	}
+	return g
+}
+
+func mergeGrids(dst, src [][]Cell) {
+	for i := range dst {
+		for j := range dst[i] {
+			dst[i][j].merge(&src[i][j])
+		}
+	}
+}
+
+// sweepOnce processes all users for one repetition with a worker pool.
+func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
+	type job struct{ u socialgraph.UserID }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	partials := make([][][]Cell, cfg.Workers)
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		partials[w] = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				sweepUser(cfg, schedules, rep, j.u, partials[w])
+			}
+		}()
+	}
+	for _, u := range cfg.Users {
+		jobs <- job{u: u}
+	}
+	close(jobs)
+	wg.Wait()
+
+	grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
+	for _, p := range partials {
+		mergeGrids(grid, p)
+	}
+	return grid
+}
+
+// sweepUser evaluates every policy and every replication degree for one
+// user, accumulating into grid.
+func sweepUser(cfg Config, schedules []interval.Set, rep int, u socialgraph.UserID, grid [][]Cell) {
+	ds := cfg.Dataset
+	friends := ds.Graph.Neighbors(u)
+	received := ds.ReceivedBy(u)
+	counts := ds.InteractionCounts(u)
+
+	// Demand set: union of the friends' online times (AoD-time denominator).
+	friendSets := make([]interval.Set, 0, len(friends))
+	for _, f := range friends {
+		if int(f) < len(schedules) {
+			friendSets = append(friendSets, schedules[f])
+		}
+	}
+	demand := interval.UnionAll(friendSets...)
+
+	in := replica.Input{
+		Owner:             u,
+		Candidates:        friends,
+		Schedules:         schedules,
+		InteractionCounts: counts,
+		Demand:            ActivityMinutes(received),
+		Mode:              cfg.Mode,
+		Budget:            cfg.MaxDegree,
+	}
+	for pi, p := range cfg.Policies {
+		rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(rep), int64(pi), int64(u))))
+		seq := p.Select(in, rng)
+		avail := schedules[u] // degree 0: only the owner stores the profile
+		for r := 0; r <= cfg.MaxDegree; r++ {
+			k := r
+			if k > len(seq) {
+				k = len(seq)
+			}
+			if r > 0 && k == r { // grow the availability set incrementally
+				avail = avail.Union(schedules[seq[k-1]])
+			}
+			cell := &grid[pi][r]
+			cell.Availability.Add(avail.Fraction())
+			if !demand.IsEmpty() {
+				cell.AoDTime.Add(float64(avail.OverlapLen(demand)) / float64(demand.Len()))
+			}
+			if v, ok := metrics.AvailabilityOnDemandActivity(avail, received); ok {
+				cell.AoDActivity.Add(v)
+			}
+			cell.DelayHours.Add(metrics.UpdatePropagationDelay(u, seq[:k], schedules).Hours)
+			cell.Effective.Add(float64(k))
+		}
+	}
+}
+
+// mix hashes the parts into a deterministic RNG seed (splitmix64-style), so
+// per-user randomness is independent of worker scheduling.
+func mix(parts ...int64) int64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, p := range parts {
+		x := uint64(p) + 0x9E3779B97F4A7C15 + h
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		h = x
+	}
+	return int64(h)
+}

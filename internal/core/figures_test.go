@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dosn/internal/trace"
+)
+
+func testSuite(t testing.TB) *Suite {
+	t.Helper()
+	fb := trace.DefaultFacebookConfig(400)
+	fb.MeanDegree = 12
+	fb.SigmaDegree = 0.6
+	fb.Seed = 33
+	tw := trace.DefaultTwitterConfig(400)
+	tw.MeanDegree = 12
+	tw.SigmaDegree = 0.6
+	tw.Seed = 44
+	return &Suite{
+		Facebook: trace.MustSynthesize(fb),
+		Twitter:  trace.MustSynthesize(tw),
+		Opts:     Options{MaxDegree: 6, UserDegree: 10, Repeats: 1, Seed: 5},
+	}
+}
+
+func TestStandardPanelsCoverPaperFigures(t *testing.T) {
+	panels := StandardPanels()
+	byFig := map[string]int{}
+	for _, p := range panels {
+		byFig[strings.TrimRight(p.ID, "abcd")]++
+	}
+	want := map[string]int{"fig3": 4, "fig4": 2, "fig5": 4, "fig6": 4, "fig7": 4, "fig10": 4, "fig11": 4}
+	for fig, n := range want {
+		if byFig[fig] != n {
+			t.Errorf("figure %s has %d panels, want %d", fig, byFig[fig], n)
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range panels {
+		if seen[p.ID] {
+			t.Errorf("duplicate panel id %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Dataset != "facebook" && p.Dataset != "twitter" {
+			t.Errorf("panel %s has unknown dataset %q", p.ID, p.Dataset)
+		}
+	}
+}
+
+func TestSuiteFigureIDsResolve(t *testing.T) {
+	s := testSuite(t)
+	ids := s.FigureIDs()
+	if len(ids) < 30 {
+		t.Fatalf("suite lists only %d figures", len(ids))
+	}
+	// Spot-check one panel id per figure family to keep the test fast.
+	for _, id := range []string{"fig2", "fig3a", "fig4b", "fig5c", "fig7d", "fig10a", "fig11b"} {
+		fig, err := s.Figure(id)
+		if err != nil {
+			t.Fatalf("Figure(%s): %v", id, err)
+		}
+		if fig.ID != id || len(fig.Series) == 0 {
+			t.Errorf("Figure(%s) = %q with %d series", id, fig.ID, len(fig.Series))
+		}
+	}
+}
+
+func TestSuiteUnknownFigure(t *testing.T) {
+	s := testSuite(t)
+	if _, err := s.Figure("fig99"); err == nil {
+		t.Error("unknown figure must error")
+	}
+}
+
+func TestSuiteMissingDataset(t *testing.T) {
+	s := testSuite(t)
+	s.Twitter = nil
+	if _, err := s.Figure("fig10a"); err == nil {
+		t.Error("missing dataset must error")
+	}
+}
+
+func TestDegreeDistributionFigure(t *testing.T) {
+	s := testSuite(t)
+	fig := DegreeDistributionFigure(s.Facebook, s.Twitter)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, series := range fig.Series {
+		total := 0.0
+		for _, y := range series.Y {
+			total += y
+		}
+		if int(total) != 400 {
+			t.Errorf("%s histogram sums to %v, want 400 users", series.Label, total)
+		}
+	}
+}
+
+func TestSessionLengthFigureShape(t *testing.T) {
+	s := testSuite(t)
+	fig, err := SessionLengthFigure(s.Facebook, MetricAvailability, s.Opts)
+	if err != nil {
+		t.Fatalf("SessionLengthFigure: %v", err)
+	}
+	if !fig.LogX || fig.ID != "fig8a" {
+		t.Errorf("figure meta = %+v", fig)
+	}
+	// Fig. 8a: availability rises with session length for every policy;
+	// compare the shortest against the longest session.
+	for _, series := range fig.Series {
+		first, last := series.Y[0], series.Y[len(series.Y)-1]
+		if last <= first {
+			t.Errorf("%s: availability should grow with session length (%.3f → %.3f)",
+				series.Label, first, last)
+		}
+	}
+	// At 100 000 s (≈28 h) sessions cover the whole day: availability ≈ 1.
+	for _, series := range fig.Series {
+		if series.Y[len(series.Y)-1] < 0.95 {
+			t.Errorf("%s: availability at 100000s = %.3f, want ≈1", series.Label, series.Y[len(series.Y)-1])
+		}
+	}
+}
+
+func TestSessionLengthDelayFalls(t *testing.T) {
+	s := testSuite(t)
+	fig, err := SessionLengthFigure(s.Facebook, MetricDelayHours, s.Opts)
+	if err != nil {
+		t.Fatalf("SessionLengthFigure: %v", err)
+	}
+	for _, series := range fig.Series {
+		first, last := series.Y[0], series.Y[len(series.Y)-1]
+		if last >= first {
+			t.Errorf("%s: delay should fall with session length (%.2f → %.2f)",
+				series.Label, first, last)
+		}
+	}
+}
+
+func TestUserDegreeFigureShape(t *testing.T) {
+	s := testSuite(t)
+	fig, err := UserDegreeFigure(s.Facebook, MetricAvailability, s.Opts)
+	if err != nil {
+		t.Fatalf("UserDegreeFigure: %v", err)
+	}
+	if fig.ID != "fig9a" || len(fig.Series) != 3 {
+		t.Fatalf("figure meta: id=%s series=%d", fig.ID, len(fig.Series))
+	}
+	// Fig. 9a: with all friends allowed as replicas, every policy reaches
+	// the same (maximum) availability, and availability grows with degree.
+	for i := 1; i < len(fig.Series); i++ {
+		a, b := fig.Series[0], fig.Series[i]
+		for j := range a.Y {
+			if d := a.Y[j] - b.Y[j]; d > 0.02 || d < -0.02 {
+				t.Errorf("policies differ at degree %v: %.3f vs %.3f (all-friends budget should equalize)",
+					a.X[j], a.Y[j], b.Y[j])
+			}
+		}
+	}
+	for _, series := range fig.Series {
+		if series.Y[len(series.Y)-1] <= series.Y[0] {
+			t.Errorf("%s: availability should grow with user degree", series.Label)
+		}
+	}
+}
+
+func TestRunPanelRendersAndWrites(t *testing.T) {
+	s := testSuite(t)
+	fig, err := s.Figure("fig3a")
+	if err != nil {
+		t.Fatalf("fig3a: %v", err)
+	}
+	var dat, txt bytes.Buffer
+	if err := fig.WriteDat(&dat); err != nil {
+		t.Fatalf("WriteDat: %v", err)
+	}
+	if err := fig.Render(&txt, 60, 12); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(dat.String(), "MaxAv") || !strings.Contains(txt.String(), "MaxAv") {
+		t.Error("figure output incomplete")
+	}
+}

@@ -1,0 +1,130 @@
+package desim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	if err := s.At(30, func() { got = append(got, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(10, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.At(20, func() { got = append(got, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Run(100); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 100 {
+		t.Errorf("Now = %d, want 100 (advanced to horizon)", s.Now())
+	}
+}
+
+func TestSameInstantRunsInScheduleOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.At(7, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(7)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	s := New()
+	var fired []Time
+	s.After(5, func() {
+		fired = append(fired, s.Now())
+		s.After(10, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run(50)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestRunHonorsHorizon(t *testing.T) {
+	s := New()
+	ran := false
+	if err := s.At(100, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Run(99); n != 0 || ran {
+		t.Error("event beyond horizon must not run")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	if n := s.Run(100); n != 1 || !ran {
+		t.Error("event at horizon must run on the next call")
+	}
+}
+
+func TestCannotScheduleInPast(t *testing.T) {
+	s := New()
+	if err := s.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(20)
+	if err := s.At(5, func() {}); !errors.Is(err, ErrPast) {
+		t.Errorf("err = %v, want ErrPast", err)
+	}
+	// After with negative delay clamps to now.
+	fired := false
+	s.After(-3, func() { fired = true })
+	s.Run(20)
+	if !fired {
+		t.Error("After(-3) should fire immediately")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		i := i
+		if err := s.At(i, func() {
+			count++
+			if i == 3 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Errorf("Stop should halt after event 3, ran %d", count)
+	}
+	// Run again resumes.
+	s.Run(100)
+	if count != 10 {
+		t.Errorf("resume should run the rest, ran %d", count)
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	s := New()
+	for i := Time(0); i < 4; i++ {
+		s.After(i, func() {})
+	}
+	s.Run(10)
+	if s.Executed() != 4 {
+		t.Errorf("Executed = %d", s.Executed())
+	}
+}

@@ -1,0 +1,124 @@
+// Package feed assembles timelines: the "feed of updates on friends'
+// profiles" a typical OSN offers (paper §II). It merges the post logs of
+// many walls into a reverse-chronological stream with stable cursors for
+// pagination.
+package feed
+
+import (
+	"container/heap"
+
+	"dosn/internal/store"
+)
+
+// Item is one feed entry.
+type Item = store.Post
+
+// older reports whether a is strictly older than b in feed order
+// (CreatedAt, then author, then sequence — a total order).
+func older(a, b Item) bool {
+	if a.CreatedAt != b.CreatedAt {
+		return a.CreatedAt < b.CreatedAt
+	}
+	if a.ID.Author != b.ID.Author {
+		return a.ID.Author < b.ID.Author
+	}
+	return a.ID.Seq < b.ID.Seq
+}
+
+// mergeHeap is a max-heap of per-wall cursors, newest item first.
+type mergeHeap struct {
+	lists [][]Item // each list newest-last (store.Wall.Posts order)
+	pos   []int    // next index to take, counted from the end
+	order []int    // heap of list indices
+}
+
+func (h *mergeHeap) head(i int) Item {
+	l := h.lists[i]
+	return l[len(l)-1-h.pos[i]]
+}
+
+func (h *mergeHeap) Len() int { return len(h.order) }
+func (h *mergeHeap) Less(a, b int) bool {
+	// Max-heap on feed order: newer items first.
+	return older(h.head(h.order[b]), h.head(h.order[a]))
+}
+func (h *mergeHeap) Swap(a, b int)      { h.order[a], h.order[b] = h.order[b], h.order[a] }
+func (h *mergeHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// Merge combines per-wall post slices (each in store rendering order, oldest
+// first) into one reverse-chronological timeline, newest first.
+func Merge(walls ...[]Item) []Item {
+	h := &mergeHeap{}
+	total := 0
+	for _, w := range walls {
+		if len(w) == 0 {
+			continue
+		}
+		h.lists = append(h.lists, w)
+		h.pos = append(h.pos, 0)
+		total += len(w)
+	}
+	for i := range h.lists {
+		h.order = append(h.order, i)
+	}
+	heap.Init(h)
+	out := make([]Item, 0, total)
+	for h.Len() > 0 {
+		i := h.order[0]
+		out = append(out, h.head(i))
+		h.pos[i]++
+		if h.pos[i] >= len(h.lists[i]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// Cursor marks a position in a timeline for pagination. The zero value
+// means "start from the newest item".
+type Cursor struct {
+	// After is exclusive: the page starts strictly after (older than) the
+	// item this cursor identifies.
+	At    int64        `json:"at"`
+	ID    store.PostID `json:"id"`
+	valid bool
+}
+
+// Page returns up to limit items from the merged timeline starting at the
+// cursor, plus the cursor for the next page. done is true when the timeline
+// is exhausted.
+func Page(timeline []Item, c Cursor, limit int) (items []Item, next Cursor, done bool) {
+	if limit <= 0 {
+		return nil, c, len(timeline) == 0
+	}
+	start := 0
+	if c.valid {
+		// Find the first item strictly older than the cursor.
+		for start < len(timeline) {
+			it := timeline[start]
+			if older(it, Item{CreatedAt: c.At, ID: c.ID}) {
+				break
+			}
+			start++
+		}
+	}
+	end := start + limit
+	if end > len(timeline) {
+		end = len(timeline)
+	}
+	items = timeline[start:end]
+	if end == len(timeline) {
+		return items, Cursor{}, true
+	}
+	last := items[len(items)-1]
+	return items, Cursor{At: last.CreatedAt, ID: last.ID, valid: true}, false
+}

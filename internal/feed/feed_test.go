@@ -1,0 +1,156 @@
+package feed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dosn/internal/store"
+)
+
+func post(author int32, seq uint64, at int64) Item {
+	return Item{ID: store.PostID{Author: author, Seq: seq}, CreatedAt: at}
+}
+
+func TestMergeNewestFirst(t *testing.T) {
+	wallA := []Item{post(1, 1, 10), post(1, 2, 30)} // oldest first
+	wallB := []Item{post(2, 1, 20), post(2, 2, 40)}
+	got := Merge(wallA, wallB)
+	wantTimes := []int64{40, 30, 20, 10}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, w := range wantTimes {
+		if got[i].CreatedAt != w {
+			t.Errorf("item %d at %d, want %d", i, got[i].CreatedAt, w)
+		}
+	}
+}
+
+func TestMergeStableOnTies(t *testing.T) {
+	wallA := []Item{post(1, 1, 10)}
+	wallB := []Item{post(2, 1, 10)}
+	got := Merge(wallA, wallB)
+	// Equal times order by author descending in a newest-first feed
+	// (total feed order reversed).
+	if got[0].ID.Author != 2 || got[1].ID.Author != 1 {
+		t.Errorf("tie order = %v", got)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if got := Merge(); len(got) != 0 {
+		t.Errorf("Merge() = %v", got)
+	}
+	if got := Merge(nil, nil); len(got) != 0 {
+		t.Errorf("Merge(nil,nil) = %v", got)
+	}
+	one := []Item{post(1, 1, 5)}
+	if got := Merge(one, nil); len(got) != 1 {
+		t.Errorf("Merge(one,nil) = %v", got)
+	}
+}
+
+func TestPagePagination(t *testing.T) {
+	var wall []Item
+	for i := 1; i <= 7; i++ {
+		wall = append(wall, post(1, uint64(i), int64(i)))
+	}
+	timeline := Merge(wall)
+
+	var all []Item
+	var c Cursor
+	pages := 0
+	for {
+		items, next, done := Page(timeline, c, 3)
+		all = append(all, items...)
+		pages++
+		if done {
+			break
+		}
+		c = next
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d, want 3 (3+3+1)", pages)
+	}
+	if len(all) != 7 {
+		t.Fatalf("paged items = %d, want 7", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if !older(all[i], all[i-1]) {
+			t.Errorf("pagination out of order at %d: %v after %v", i, all[i], all[i-1])
+		}
+	}
+}
+
+func TestPageZeroLimit(t *testing.T) {
+	items, _, done := Page([]Item{post(1, 1, 1)}, Cursor{}, 0)
+	if len(items) != 0 || done {
+		t.Errorf("zero limit = (%v,%v)", items, done)
+	}
+	_, _, done = Page(nil, Cursor{}, 0)
+	if !done {
+		t.Error("empty timeline with zero limit is done")
+	}
+}
+
+func TestQuickMergeMatchesSortedUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nWalls := 1 + rng.Intn(4)
+		var walls [][]Item
+		total := 0
+		for w := 0; w < nWalls; w++ {
+			n := rng.Intn(6)
+			var wall []Item
+			at := int64(0)
+			for i := 0; i < n; i++ {
+				at += int64(rng.Intn(3)) // non-decreasing, duplicates allowed
+				wall = append(wall, post(int32(w), uint64(i+1), at))
+			}
+			walls = append(walls, wall)
+			total += n
+		}
+		got := Merge(walls...)
+		if len(got) != total {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if !older(got[i], got[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPaginationCoversAll(t *testing.T) {
+	f := func(seed int64, limitRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		limit := int(limitRaw%5) + 1
+		var wall []Item
+		at := int64(0)
+		for i := 0; i < rng.Intn(20); i++ {
+			at += int64(rng.Intn(2))
+			wall = append(wall, post(1, uint64(i+1), at))
+		}
+		timeline := Merge(wall)
+		var c Cursor
+		seen := 0
+		for i := 0; i < 100; i++ { // bound iterations defensively
+			items, next, done := Page(timeline, c, limit)
+			seen += len(items)
+			if done {
+				break
+			}
+			c = next
+		}
+		return seen == len(timeline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package metrics implements the paper's efficiency metrics for
+// decentralized OSNs (§II-C): availability, availability-on-demand-time,
+// availability-on-demand-activity, update-propagation delay over the replica
+// time-connectivity graph, and the replica-load fairness measure implied by
+// the storage requirements of §II-B1.
+package metrics
+
+import (
+	"math"
+
+	"dosn/internal/interval"
+	"dosn/internal/socialgraph"
+	"dosn/internal/trace"
+)
+
+// scheduleOf returns the schedule for u, tolerating out-of-range IDs.
+func scheduleOf(schedules []interval.Set, u socialgraph.UserID) interval.Set {
+	if u < 0 || int(u) >= len(schedules) {
+		return interval.Empty
+	}
+	return schedules[u]
+}
+
+// AvailabilitySet returns the set of minutes during which the profile of
+// owner is reachable: the union of the owner's own online time (the owner
+// always stores his profile — replication degree 0 in the paper means "only
+// the user stores his profile") and the online times of all replicas.
+func AvailabilitySet(owner socialgraph.UserID, replicas []socialgraph.UserID, schedules []interval.Set) interval.Set {
+	sets := make([]interval.Set, 0, len(replicas)+1)
+	sets = append(sets, scheduleOf(schedules, owner))
+	for _, r := range replicas {
+		sets = append(sets, scheduleOf(schedules, r))
+	}
+	return interval.UnionAll(sets...)
+}
+
+// Availability returns the fraction of the day the profile is reachable
+// (§II-C1).
+func Availability(owner socialgraph.UserID, replicas []socialgraph.UserID, schedules []interval.Set) float64 {
+	return AvailabilitySet(owner, replicas, schedules).Fraction()
+}
+
+// AvailabilityOnDemandTime returns the fraction of the union of the friends'
+// online times during which the profile is reachable (§II-C2). ok is false
+// when the friends are never online (the metric is undefined).
+func AvailabilityOnDemandTime(owner socialgraph.UserID, replicas, friends []socialgraph.UserID, schedules []interval.Set) (v float64, ok bool) {
+	sets := make([]interval.Set, 0, len(friends))
+	for _, f := range friends {
+		sets = append(sets, scheduleOf(schedules, f))
+	}
+	demand := interval.UnionAll(sets...)
+	if demand.IsEmpty() {
+		return 0, false
+	}
+	avail := AvailabilitySet(owner, replicas, schedules)
+	return float64(avail.OverlapLen(demand)) / float64(demand.Len()), true
+}
+
+// AvailabilityOnDemandActivity returns the fraction of activities on the
+// owner's profile whose time-of-day falls within the availability set
+// (§II-C2, second variant). Both "expected" activity (inside the inferred
+// online times) and "unexpected" activity count, per §IV-B. ok is false when
+// the profile received no activity.
+func AvailabilityOnDemandActivity(avail interval.Set, received []trace.Activity) (v float64, ok bool) {
+	if len(received) == 0 {
+		return 0, false
+	}
+	hit := 0
+	for _, a := range received {
+		if avail.Contains(a.MinuteOfDay()) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(received)), true
+}
+
+// DelayResult reports the update-propagation-delay metric (§II-C3).
+type DelayResult struct {
+	// Hours is the worst-case update propagation delay: the weighted
+	// diameter of the replica time-connectivity graph, where an edge's
+	// weight is the worst-case wait until the two endpoints are next online
+	// together. For two replicas sharing a single overlap window of d hours
+	// this is exactly the paper's 24−d expression.
+	Hours float64
+	// Connected reports whether every pair of replica nodes can exchange
+	// updates through the graph. In ConRep placements it is always true; in
+	// UnconRep placements unreachable pairs are excluded from Hours (they
+	// would use external storage).
+	Connected bool
+	// Nodes is the number of profile holders considered (owner + replicas).
+	Nodes int
+}
+
+// UpdatePropagationDelay computes the paper's worst-case update-propagation
+// delay for a profile: nodes are the owner plus the replicas; edges connect
+// time-overlapping nodes with weight equal to the maximum circular gap
+// between their common online minutes; updates follow shortest paths; and
+// the metric is the largest shortest-path weight over all node pairs.
+func UpdatePropagationDelay(owner socialgraph.UserID, replicas []socialgraph.UserID, schedules []interval.Set) DelayResult {
+	nodes := make([]interval.Set, 0, len(replicas)+1)
+	nodes = append(nodes, scheduleOf(schedules, owner))
+	for _, r := range replicas {
+		nodes = append(nodes, scheduleOf(schedules, r))
+	}
+	n := len(nodes)
+	res := DelayResult{Connected: true, Nodes: n}
+	if n < 2 {
+		return res
+	}
+
+	const inf = math.MaxInt32
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = inf
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			common := nodes[i].Intersect(nodes[j])
+			if common.IsEmpty() {
+				continue
+			}
+			gap, _ := common.MaxGap()
+			dist[i][j], dist[j][i] = gap, gap
+		}
+	}
+	// Floyd–Warshall; n is at most a few dozen replicas.
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if dist[i][k] == inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dist[k][j] == inf {
+					continue
+				}
+				if d := dist[i][k] + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	worst := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case dist[i][j] == inf:
+				res.Connected = false
+			case dist[i][j] > worst:
+				worst = dist[i][j]
+			}
+		}
+	}
+	res.Hours = float64(worst) / 60
+	return res
+}
+
+// MaxAchievableAvailability returns the best availability any placement can
+// reach for the owner: the union of the owner's and all friends' online
+// times (§III-A notes this bound).
+func MaxAchievableAvailability(owner socialgraph.UserID, friends []socialgraph.UserID, schedules []interval.Set) float64 {
+	sets := make([]interval.Set, 0, len(friends)+1)
+	sets = append(sets, scheduleOf(schedules, owner))
+	for _, f := range friends {
+		sets = append(sets, scheduleOf(schedules, f))
+	}
+	return interval.UnionAll(sets...).Fraction()
+}
+
+// HostLoad counts, for every user, how many foreign profiles the user hosts
+// given per-owner replica assignments. It quantifies the fairness/storage-
+// balance requirement of §II-B1.
+func HostLoad(assignments map[socialgraph.UserID][]socialgraph.UserID, numUsers int) []int {
+	load := make([]int, numUsers)
+	for _, replicas := range assignments {
+		for _, r := range replicas {
+			if r >= 0 && int(r) < numUsers {
+				load[r]++
+			}
+		}
+	}
+	return load
+}
+
+// LoadImbalance summarizes a HostLoad vector as (mean, max, coefficient of
+// variation). A perfectly fair placement has cv → 0.
+func LoadImbalance(load []int) (mean, max float64, cv float64) {
+	if len(load) == 0 {
+		return 0, 0, 0
+	}
+	sum := 0
+	maxV := 0
+	for _, l := range load {
+		sum += l
+		if l > maxV {
+			maxV = l
+		}
+	}
+	mean = float64(sum) / float64(len(load))
+	var ss float64
+	for _, l := range load {
+		d := float64(l) - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(load)))
+	if mean > 0 {
+		cv = std / mean
+	}
+	return mean, float64(maxV), cv
+}

@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dosn/internal/interval"
+	"dosn/internal/socialgraph"
+	"dosn/internal/trace"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAvailabilityIncludesOwner(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 144), // owner: 10% of the day
+		1: interval.Window(720, 144),
+	}
+	if got := Availability(0, nil, schedules); !almost(got, 0.1) {
+		t.Errorf("degree-0 availability = %v, want 0.1 (owner's own time)", got)
+	}
+	if got := Availability(0, []socialgraph.UserID{1}, schedules); !almost(got, 0.2) {
+		t.Errorf("availability with 1 replica = %v, want 0.2", got)
+	}
+}
+
+func TestAvailabilityOverlapNotDoubleCounted(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 144),
+		1: interval.Window(72, 144), // half overlaps the owner
+	}
+	if got := Availability(0, []socialgraph.UserID{1}, schedules); !almost(got, 216.0/1440) {
+		t.Errorf("availability = %v, want %v", got, 216.0/1440)
+	}
+}
+
+func TestAvailabilityOnDemandTime(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 120),    // owner
+		1: interval.Window(100, 100),  // replica
+		2: interval.Window(0, 240),    // friend (demand)
+		3: interval.Window(1000, 100), // friend never covered
+	}
+	friends := []socialgraph.UserID{2, 3}
+	// Demand = [0,240) ∪ [1000,1100) → 340 min. Avail = [0,200).
+	// Covered demand = [0,200) → 200.
+	v, ok := AvailabilityOnDemandTime(0, []socialgraph.UserID{1}, friends, schedules)
+	if !ok || !almost(v, 200.0/340) {
+		t.Errorf("AoD-time = (%v,%v), want %v", v, ok, 200.0/340)
+	}
+}
+
+func TestAvailabilityOnDemandTimeUndefined(t *testing.T) {
+	schedules := []interval.Set{0: interval.Window(0, 60), 1: interval.Empty}
+	if _, ok := AvailabilityOnDemandTime(0, nil, []socialgraph.UserID{1}, schedules); ok {
+		t.Error("AoD-time with never-online friends must report !ok")
+	}
+	if _, ok := AvailabilityOnDemandTime(0, nil, nil, schedules); ok {
+		t.Error("AoD-time with no friends must report !ok")
+	}
+}
+
+func TestAvailabilityOnDemandActivity(t *testing.T) {
+	avail := interval.Window(600, 120) // [600,720)
+	mk := func(min int) trace.Activity {
+		return trace.Activity{At: trace.Epoch.Add(time.Duration(min) * time.Minute)}
+	}
+	acts := []trace.Activity{mk(610), mk(700), mk(100), mk(719)}
+	v, ok := AvailabilityOnDemandActivity(avail, acts)
+	if !ok || !almost(v, 0.75) {
+		t.Errorf("AoD-activity = (%v,%v), want 0.75", v, ok)
+	}
+	if _, ok := AvailabilityOnDemandActivity(avail, nil); ok {
+		t.Error("no activity must report !ok")
+	}
+}
+
+func TestDelaySingleOverlapMatchesPaperFormula(t *testing.T) {
+	// Two nodes sharing a single overlap window of d minutes → delay
+	// (1440−d)/60 hours, the paper's 24−d expression.
+	d := 90
+	schedules := []interval.Set{
+		0: interval.Window(0, 200),
+		1: interval.Window(200-d, 300),
+	}
+	res := UpdatePropagationDelay(0, []socialgraph.UserID{1}, schedules)
+	want := float64(1440-d) / 60
+	if !almost(res.Hours, want) || !res.Connected {
+		t.Errorf("delay = %+v, want %.2fh connected", res, want)
+	}
+}
+
+func TestDelayChainAddsHops(t *testing.T) {
+	// owner↔1 overlap 60min, 1↔2 overlap 30min; owner and 2 disjoint.
+	schedules := []interval.Set{
+		0: interval.Window(0, 120),
+		1: interval.Window(60, 120),   // overlap with 0: [60,120)
+		2: interval.Window(150, 1000), // overlap with 1: [150,180); none with 0
+	}
+	res := UpdatePropagationDelay(0, []socialgraph.UserID{1, 2}, schedules)
+	if !res.Connected {
+		t.Fatal("chain should be connected")
+	}
+	// Worst pair is (0,2): (1440-60)+(1440-30) minutes.
+	want := float64((1440-60)+(1440-30)) / 60
+	if !almost(res.Hours, want) {
+		t.Errorf("chain delay = %v, want %v", res.Hours, want)
+	}
+}
+
+func TestDelaySporadicIntermittentContactIsLower(t *testing.T) {
+	// Same total overlap, but spread across 4 windows → much smaller worst
+	// wait. This is the paper's explanation for Sporadic's lower delay.
+	single := []interval.Set{
+		0: interval.Window(0, 120),
+		1: interval.Window(60, 600), // one 60-min overlap
+	}
+	spread := []interval.Set{
+		0: interval.UnionAll(interval.Window(0, 15), interval.Window(360, 15),
+			interval.Window(720, 15), interval.Window(1080, 15)),
+		1: interval.FullDay(), // overlap = owner's 4 spread sessions
+	}
+	d1 := UpdatePropagationDelay(0, []socialgraph.UserID{1}, single)
+	d2 := UpdatePropagationDelay(0, []socialgraph.UserID{1}, spread)
+	if d2.Hours >= d1.Hours {
+		t.Errorf("intermittent contact delay %.2f should beat single-window %.2f", d2.Hours, d1.Hours)
+	}
+}
+
+func TestDelayDisconnectedPairs(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 60),
+		1: interval.Window(300, 60),
+		2: interval.Window(0, 120), // connected to owner only
+	}
+	res := UpdatePropagationDelay(0, []socialgraph.UserID{1, 2}, schedules)
+	if res.Connected {
+		t.Error("replica 1 has no overlap with anyone: must be disconnected")
+	}
+	// The connected pair (0,2) still yields a finite delay.
+	if res.Hours <= 0 {
+		t.Errorf("connected pair delay should be positive, got %v", res.Hours)
+	}
+}
+
+func TestDelayDegenerateCases(t *testing.T) {
+	schedules := []interval.Set{0: interval.Window(0, 60)}
+	res := UpdatePropagationDelay(0, nil, schedules)
+	if res.Hours != 0 || !res.Connected || res.Nodes != 1 {
+		t.Errorf("degree-0 delay = %+v, want zero", res)
+	}
+}
+
+func TestDelayFullOverlapIsGapOfCommonSet(t *testing.T) {
+	// Identical schedules: delay = max gap of the schedule itself, not 0 —
+	// an update posted while both are offline still waits for the next
+	// session.
+	s := interval.Window(600, 120)
+	schedules := []interval.Set{0: s, 1: s}
+	res := UpdatePropagationDelay(0, []socialgraph.UserID{1}, schedules)
+	want := float64(1440-120) / 60
+	if !almost(res.Hours, want) {
+		t.Errorf("identical-schedule delay = %v, want %v", res.Hours, want)
+	}
+}
+
+func TestMaxAchievableAvailability(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 144),
+		1: interval.Window(144, 144),
+		2: interval.Window(288, 144),
+	}
+	got := MaxAchievableAvailability(0, []socialgraph.UserID{1, 2}, schedules)
+	if !almost(got, 432.0/1440) {
+		t.Errorf("max achievable = %v, want %v", got, 432.0/1440)
+	}
+}
+
+func TestHostLoadAndImbalance(t *testing.T) {
+	assignments := map[socialgraph.UserID][]socialgraph.UserID{
+		0: {1, 2},
+		1: {2},
+		2: {1},
+		3: {99}, // out of range must be ignored
+	}
+	load := HostLoad(assignments, 4)
+	want := []int{0, 2, 2, 0}
+	for i := range want {
+		if load[i] != want[i] {
+			t.Fatalf("load = %v, want %v", load, want)
+		}
+	}
+	mean, maxV, cv := LoadImbalance(load)
+	if !almost(mean, 1.0) || maxV != 2 {
+		t.Errorf("imbalance mean=%v max=%v", mean, maxV)
+	}
+	if cv <= 0 {
+		t.Errorf("cv = %v, want > 0 for unbalanced load", cv)
+	}
+	if _, _, cv := LoadImbalance([]int{3, 3, 3}); cv != 0 {
+		t.Errorf("uniform load cv = %v, want 0", cv)
+	}
+	if m, mx, c := LoadImbalance(nil); m != 0 || mx != 0 || c != 0 {
+		t.Error("empty load should be all zeros")
+	}
+}
+
+// Property: availability is monotone in the replica set and bounded by the
+// max achievable availability.
+func TestQuickAvailabilityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		schedules := make([]interval.Set, n)
+		for i := range schedules {
+			schedules[i] = interval.Window(rng.Intn(1440), rng.Intn(500))
+		}
+		friends := make([]socialgraph.UserID, 0, n-1)
+		for i := 1; i < n; i++ {
+			friends = append(friends, socialgraph.UserID(i))
+		}
+		prev := 0.0
+		for k := 0; k <= len(friends); k++ {
+			v := Availability(0, friends[:k], schedules)
+			if v+1e-12 < prev {
+				return false
+			}
+			prev = v
+		}
+		return prev <= MaxAchievableAvailability(0, friends, schedules)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AoD-time ≥ availability restricted comparison does not hold in
+// general, but AoD-time is always within [0,1] and equals 1 when the
+// availability set covers the demand set.
+func TestQuickAoDTimeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		schedules := make([]interval.Set, n)
+		for i := range schedules {
+			schedules[i] = interval.Window(rng.Intn(1440), rng.Intn(400))
+		}
+		friends := []socialgraph.UserID{1, 2, 3, 4, 5}
+		v, ok := AvailabilityOnDemandTime(0, friends, friends, schedules)
+		if !ok {
+			return true
+		}
+		// All friends are replicas → demand fully covered → AoD-time = 1.
+		return almost(v, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: delay is symmetric in replica order and non-negative.
+func TestQuickDelayOrderInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		schedules := make([]interval.Set, n)
+		for i := range schedules {
+			schedules[i] = interval.Window(rng.Intn(1440), 30+rng.Intn(400))
+		}
+		rs := []socialgraph.UserID{1, 2, 3, 4, 5}
+		a := UpdatePropagationDelay(0, rs, schedules)
+		rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+		b := UpdatePropagationDelay(0, rs, schedules)
+		return almost(a.Hours, b.Hours) && a.Connected == b.Connected && a.Hours >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package onlinetime implements the paper's three user online-time models
+// (§IV-C). Each model approximates, from a user's activity history, the set
+// of minutes of the day during which the user is online:
+//
+//   - Sporadic: one fixed-length session per activity, with the activity at a
+//     random point inside the session (default 20 minutes, the paper's
+//     conservative choice).
+//   - FixedLength: one continuous daily window of fixed length (the paper
+//     uses 2, 4, 6 and 8 hours), centered on the majority of the user's
+//     activity times.
+//   - RandomLength: like FixedLength, but each user draws his own window
+//     length uniformly from [2, 8] hours.
+//
+// Schedules are day-cyclic interval sets; a user's schedule repeats every
+// day, matching the paper's 24-hour availability accounting.
+package onlinetime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dosn/internal/interval"
+	"dosn/internal/socialgraph"
+	"dosn/internal/trace"
+)
+
+// Model computes per-user online-time schedules from an activity trace.
+// Implementations must be deterministic given the same rng state.
+type Model interface {
+	// Name identifies the model in experiment output ("Sporadic", ...).
+	Name() string
+	// ScheduleAll returns one online-time set per user ID.
+	ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set
+}
+
+// Compile-time interface checks.
+var (
+	_ Model = Sporadic{}
+	_ Model = FixedLength{}
+	_ Model = RandomLength{}
+)
+
+// Sporadic models several short sessions per day, one per created activity.
+// The paper's default session length is 20 minutes; Fig. 8 sweeps it from
+// 100 s to 100 000 s.
+type Sporadic struct {
+	// SessionLength is the fixed session duration. Zero means the paper's
+	// default of 20 minutes. Sub-minute lengths round up to one minute (the
+	// schedule resolution).
+	SessionLength time.Duration
+}
+
+// DefaultSessionLength is the paper's conservative session-length choice.
+const DefaultSessionLength = 20 * time.Minute
+
+// Name implements Model.
+func (s Sporadic) Name() string { return "Sporadic" }
+
+func (s Sporadic) sessionMinutes() int {
+	d := s.SessionLength
+	if d <= 0 {
+		d = DefaultSessionLength
+	}
+	m := int((d + time.Minute - 1) / time.Minute)
+	if m < 1 {
+		m = 1
+	}
+	if m > interval.DayMinutes {
+		m = interval.DayMinutes
+	}
+	return m
+}
+
+// ScheduleAll implements Model. A user with no created activities gets an
+// empty schedule (never online), mirroring the paper's observation that
+// online times must be inferred from activity.
+func (s Sporadic) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+	sess := s.sessionMinutes()
+	out := make([]interval.Set, d.NumUsers())
+	for u := 0; u < d.NumUsers(); u++ {
+		acts := d.CreatedBy(socialgraph.UserID(u))
+		if len(acts) == 0 {
+			continue
+		}
+		windows := make([]interval.Interval, 0, len(acts))
+		for _, a := range acts {
+			// The activity happens at a uniformly random point inside the
+			// session, so the session starts up to sess-1 minutes earlier.
+			start := a.MinuteOfDay() - rng.Intn(sess)
+			windows = append(windows, interval.Interval{Start: start, End: start + sess})
+		}
+		out[u] = interval.NewSet(windows...)
+	}
+	return out
+}
+
+// FixedLength models one continuous daily online window of fixed length,
+// centered on the circular mean of the user's activity minutes.
+type FixedLength struct {
+	// Hours is the window length; the paper evaluates 2, 4, 6 and 8.
+	Hours int
+}
+
+// Name implements Model.
+func (f FixedLength) Name() string { return fmt.Sprintf("FixedLength(%dh)", f.Hours) }
+
+// ScheduleAll implements Model. Users with no activities get a window at a
+// uniformly random time of day (their behaviour is unknown).
+func (f FixedLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+	length := f.Hours * 60
+	out := make([]interval.Set, d.NumUsers())
+	for u := 0; u < d.NumUsers(); u++ {
+		center, ok := activityCenter(d, socialgraph.UserID(u))
+		if !ok {
+			center = rng.Intn(interval.DayMinutes)
+		}
+		out[u] = interval.WindowCentered(center, length)
+	}
+	return out
+}
+
+// RandomLength is FixedLength with a per-user window length drawn uniformly
+// from [MinHours, MaxHours] (the paper uses [2, 8]).
+type RandomLength struct {
+	// MinHours and MaxHours bound the per-user window length. Zero values
+	// mean the paper's defaults of 2 and 8.
+	MinHours int
+	MaxHours int
+}
+
+// Name implements Model.
+func (r RandomLength) Name() string { return "RandomLength" }
+
+func (r RandomLength) bounds() (lo, hi int) {
+	lo, hi = r.MinHours, r.MaxHours
+	if lo <= 0 {
+		lo = 2
+	}
+	if hi <= 0 {
+		hi = 8
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// ScheduleAll implements Model.
+func (r RandomLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+	lo, hi := r.bounds()
+	out := make([]interval.Set, d.NumUsers())
+	for u := 0; u < d.NumUsers(); u++ {
+		length := lo*60 + rng.Intn((hi-lo)*60+1)
+		center, ok := activityCenter(d, socialgraph.UserID(u))
+		if !ok {
+			center = rng.Intn(interval.DayMinutes)
+		}
+		out[u] = interval.WindowCentered(center, length)
+	}
+	return out
+}
+
+// activityCenter returns the circular mean minute-of-day of the user's
+// created activities; ok is false when the user has none.
+func activityCenter(d *trace.Dataset, u socialgraph.UserID) (center int, ok bool) {
+	acts := d.CreatedBy(u)
+	if len(acts) == 0 {
+		return 0, false
+	}
+	var sx, sy float64
+	for _, a := range acts {
+		th := 2 * math.Pi * float64(a.MinuteOfDay()) / interval.DayMinutes
+		sx += math.Cos(th)
+		sy += math.Sin(th)
+	}
+	if math.Hypot(sx, sy) < 1e-9*float64(len(acts)) {
+		// Perfectly balanced activities (e.g. two opposite minutes): any
+		// center is as good as any other; use the first activity.
+		return acts[0].MinuteOfDay(), true
+	}
+	th := math.Atan2(sy, sx)
+	m := int(math.Round(th / (2 * math.Pi) * interval.DayMinutes))
+	if m < 0 {
+		m += interval.DayMinutes
+	}
+	return m % interval.DayMinutes, true
+}
+
+// Compute runs the model over the dataset with a deterministic seed and
+// returns one schedule per user.
+func Compute(m Model, d *trace.Dataset, seed int64) []interval.Set {
+	return m.ScheduleAll(d, rand.New(rand.NewSource(seed)))
+}
+
+// DefaultModels returns the model set evaluated throughout the paper's
+// result figures: Sporadic (20 min), RandomLength, FixedLength 2 h and 8 h.
+func DefaultModels() []Model {
+	return []Model{
+		Sporadic{},
+		RandomLength{},
+		FixedLength{Hours: 2},
+		FixedLength{Hours: 8},
+	}
+}

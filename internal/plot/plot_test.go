@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID:     "fig3a",
+		Title:  "Availability (Sporadic)",
+		XLabel: "replication degree",
+		YLabel: "availability",
+		Series: []Series{
+			{Label: "MaxAv", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.5, 0.8}},
+			{Label: "Random", X: []float64{0, 1, 2}, Y: []float64{0.1, 0.3, 0.5}},
+		},
+	}
+}
+
+func TestWriteDatAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteDat(&buf); err != nil {
+		t.Fatalf("WriteDat: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# fig3a", "MaxAv", "Random", "0\t0.1\t0.1", "2\t0.8\t0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDatUnaligned(t *testing.T) {
+	f := sampleFigure()
+	f.Series[1].X = []float64{0, 1} // different grid
+	f.Series[1].Y = []float64{0.1, 0.3}
+	var buf bytes.Buffer
+	if err := f.WriteDat(&buf); err != nil {
+		t.Fatalf("WriteDat: %v", err)
+	}
+	if !strings.Contains(buf.String(), "# series: MaxAv") {
+		t.Errorf("unaligned figures should emit per-series blocks:\n%s", buf.String())
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().Render(&buf, 40, 10); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig3a") || !strings.Contains(out, "* MaxAv") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	f := Figure{ID: "x", Title: "empty"}
+	if err := f.Render(&buf, 20, 5); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Errorf("empty figure should say so:\n%s", buf.String())
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	f := Figure{
+		ID: "fig8", Title: "session sweep", LogX: true,
+		XLabel: "session length (sec)", YLabel: "availability",
+		Series: []Series{{Label: "MaxAv", X: []float64{100, 1000, 10000, 100000}, Y: []float64{0.1, 0.3, 0.8, 1.0}}},
+	}
+	var buf bytes.Buffer
+	if err := f.Render(&buf, 40, 8); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "100000") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+}
+
+func TestPrintTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().PrintTable(&buf); err != nil {
+		t.Fatalf("PrintTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"replication degree", "MaxAv", "0.8000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTableUnaligned(t *testing.T) {
+	f := sampleFigure()
+	f.Series[0].X = []float64{5, 6, 7}
+	var buf bytes.Buffer
+	if err := f.PrintTable(&buf); err != nil {
+		t.Fatalf("PrintTable: %v", err)
+	}
+	if !strings.Contains(buf.String(), "series MaxAv:") {
+		t.Errorf("unaligned table should emit per-series blocks:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,278 @@
+// Package replica implements the paper's profile-replica selection policies
+// (§III): MaxAv (greedy set cover over online minutes), MostActive (top-k
+// friends by interaction count) and Random, each in the connected-replica
+// (ConRep) and unconnected-replica (UnconRep) variants.
+//
+// In ConRep mode every chosen replica must overlap in time with the owner or
+// with an already-chosen replica, so that updates can propagate through the
+// friend set without third-party storage — the configuration the paper argues
+// a privacy-conscious decentralized OSN must use.
+package replica
+
+import (
+	"math/rand"
+	"sort"
+
+	"dosn/internal/interval"
+	"dosn/internal/socialgraph"
+)
+
+// Mode selects between connected and unconnected replica placement.
+type Mode int
+
+const (
+	// ConRep requires each replica to overlap in time with the owner or an
+	// already-chosen replica (paper §II-A).
+	ConRep Mode = iota + 1
+	// UnconRep places replicas regardless of time connectivity; replicas
+	// would exchange updates through third-party storage (CDN/DHT).
+	UnconRep
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ConRep:
+		return "ConRep"
+	case UnconRep:
+		return "UnconRep"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Input carries everything a policy needs to place replicas for one user.
+type Input struct {
+	// Owner is the profile owner.
+	Owner socialgraph.UserID
+	// Candidates are the owner's friends (Facebook) or followers (Twitter):
+	// the trusted nodes eligible to host a replica.
+	Candidates []socialgraph.UserID
+	// Schedules holds the online-time set of every user, indexed by UserID.
+	Schedules []interval.Set
+	// InteractionCounts gives, per candidate, the number of activities the
+	// candidate created on the owner's profile. Only MostActive reads it.
+	InteractionCounts map[socialgraph.UserID]int
+	// Demand is the set of minutes during which activity was observed on
+	// the owner's profile in the past. Only MaxAv with
+	// ObjectiveOnDemandActivity reads it (§III-A: the set-cover universe is
+	// "the union of the activity times of all friends observed during a
+	// pre-defined time in the past").
+	Demand interval.Set
+	// Mode selects ConRep or UnconRep placement.
+	Mode Mode
+	// Budget is the maximum replication degree (number of replicas).
+	Budget int
+}
+
+func (in Input) schedule(u socialgraph.UserID) interval.Set {
+	if u < 0 || int(u) >= len(in.Schedules) {
+		return interval.Empty
+	}
+	return in.Schedules[u]
+}
+
+// connected reports whether candidate c is time-connected to the owner or to
+// any already chosen replica.
+func (in Input) connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
+	ot := in.schedule(c)
+	if ot.Overlaps(in.schedule(in.Owner)) {
+		return true
+	}
+	for _, r := range chosen {
+		if ot.Overlaps(in.schedule(r)) {
+			return true
+		}
+	}
+	return false
+}
+
+// eligible returns the not-yet-chosen candidates permitted by the mode.
+func (in Input) eligible(chosen []socialgraph.UserID, taken map[socialgraph.UserID]bool) []socialgraph.UserID {
+	out := make([]socialgraph.UserID, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if taken[c] {
+			continue
+		}
+		if in.Mode == ConRep && !in.connected(c, chosen) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Policy chooses replica locations for a user's profile.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Select returns the chosen replica hosts, at most in.Budget of them.
+	// The result may be shorter than the budget when the policy runs out of
+	// eligible or useful candidates (the paper notes this for ConRep).
+	Select(in Input, rng *rand.Rand) []socialgraph.UserID
+}
+
+// Compile-time interface checks.
+var (
+	_ Policy = MaxAv{}
+	_ Policy = MostActive{}
+	_ Policy = Random{}
+)
+
+// Objective selects the set-cover universe MaxAv optimizes (§III-A).
+type Objective int
+
+const (
+	// ObjectiveAvailability covers the friends' online minutes: it
+	// maximizes availability and, equivalently, availability-on-demand-time
+	// (the paper notes both use the same universe ⋃_f OT_f).
+	ObjectiveAvailability Objective = iota
+	// ObjectiveOnDemandActivity covers the minutes of past activity on the
+	// owner's profile (Input.Demand): it maximizes
+	// availability-on-demand-activity.
+	ObjectiveOnDemandActivity
+)
+
+func (o Objective) String() string {
+	if o == ObjectiveOnDemandActivity {
+		return "on-demand-activity"
+	}
+	return "availability"
+}
+
+// MaxAv greedily maximizes profile availability: at each step it picks the
+// eligible candidate contributing the most not-yet-covered universe minutes,
+// stopping early when coverage stops improving (§III-A). This is the greedy
+// approximation to the NP-hard set-cover formulation in the paper. The zero
+// value optimizes plain availability; set Objective to cover the past
+// activity minutes instead.
+type MaxAv struct {
+	// Objective selects the set-cover universe (default availability).
+	Objective Objective
+}
+
+// Name implements Policy.
+func (m MaxAv) Name() string {
+	if m.Objective == ObjectiveOnDemandActivity {
+		return "MaxAv(activity)"
+	}
+	return "MaxAv"
+}
+
+// Select implements Policy.
+func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
+	chosen := make([]socialgraph.UserID, 0, in.Budget)
+	taken := make(map[socialgraph.UserID]bool, in.Budget)
+	covered := in.schedule(in.Owner) // the owner always hosts his profile
+	restricted := m.Objective == ObjectiveOnDemandActivity
+	gainOf := func(ot interval.Set) int {
+		if restricted {
+			// Contribution inside the demand universe only.
+			useful := ot.Intersect(in.Demand)
+			return useful.Len() - covered.OverlapLen(useful)
+		}
+		return ot.Len() - covered.OverlapLen(ot)
+	}
+	for len(chosen) < in.Budget {
+		best := socialgraph.UserID(-1)
+		bestGain := 0
+		bestOverlap := 0
+		for _, c := range in.eligible(chosen, taken) {
+			ot := in.schedule(c)
+			gain := gainOf(ot)
+			overlap := covered.OverlapLen(ot)
+			// Maximize marginal coverage; the paper words the tie-break as
+			// "least overlap with the current covered set"; candidate ID
+			// breaks remaining ties deterministically.
+			if gain > bestGain || (gain == bestGain && gain > 0 && overlap < bestOverlap) {
+				best, bestGain, bestOverlap = c, gain, overlap
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break // no improvement possible: stop, as the paper prescribes
+		}
+		chosen = append(chosen, best)
+		taken[best] = true
+		covered = covered.Union(in.schedule(best))
+	}
+	return chosen
+}
+
+// MostActive picks the top-k most active friends — those who created the
+// most activity on the owner's profile — filling up with random friends when
+// fewer than k have non-zero activity (§III-B).
+type MostActive struct{}
+
+// Name implements Policy.
+func (MostActive) Name() string { return "MostActive" }
+
+// Select implements Policy.
+func (MostActive) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
+	ranked := make([]socialgraph.UserID, len(in.Candidates))
+	copy(ranked, in.Candidates)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		ci := in.InteractionCounts[ranked[i]]
+		cj := in.InteractionCounts[ranked[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ranked[i] < ranked[j]
+	})
+
+	chosen := make([]socialgraph.UserID, 0, in.Budget)
+	taken := make(map[socialgraph.UserID]bool, in.Budget)
+	for len(chosen) < in.Budget {
+		// Highest-ranked eligible candidate with non-zero activity.
+		best := socialgraph.UserID(-1)
+		for _, c := range ranked {
+			if taken[c] || in.InteractionCounts[c] == 0 {
+				continue
+			}
+			if in.Mode == ConRep && !in.connected(c, chosen) {
+				continue
+			}
+			best = c
+			break
+		}
+		if best < 0 {
+			// Out of active candidates: fall back to random friends, as the
+			// paper prescribes when there are not enough active ones.
+			pool := in.eligible(chosen, taken)
+			if len(pool) == 0 {
+				break
+			}
+			best = pool[rng.Intn(len(pool))]
+		}
+		chosen = append(chosen, best)
+		taken[best] = true
+	}
+	return chosen
+}
+
+// Random picks uniformly random friends (§III-C), restricted to
+// time-connected candidates in ConRep mode.
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "Random" }
+
+// Select implements Policy.
+func (Random) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
+	chosen := make([]socialgraph.UserID, 0, in.Budget)
+	taken := make(map[socialgraph.UserID]bool, in.Budget)
+	for len(chosen) < in.Budget {
+		pool := in.eligible(chosen, taken)
+		if len(pool) == 0 {
+			break
+		}
+		pick := pool[rng.Intn(len(pool))]
+		chosen = append(chosen, pick)
+		taken[pick] = true
+	}
+	return chosen
+}
+
+// DefaultPolicies returns the three policies in the order the paper's plots
+// list them.
+func DefaultPolicies() []Policy {
+	return []Policy{MaxAv{}, MostActive{}, Random{}}
+}

@@ -1,0 +1,351 @@
+// Package socialgraph provides the social-graph substrate for the study: an
+// adjacency-list graph that is either undirected (Facebook friendship) or
+// directed (Twitter follower links), degree statistics, traversals, CSV
+// serialization, and the random-graph generators used to synthesize datasets
+// calibrated to the paper's traces.
+package socialgraph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// UserID identifies a user; IDs are dense indices in [0, NumUsers).
+type UserID = int32
+
+// Kind distinguishes friendship graphs from follower graphs.
+type Kind int
+
+const (
+	// Undirected models mutual friendship (Facebook). Every edge appears in
+	// both endpoints' adjacency lists.
+	Undirected Kind = iota + 1
+	// Directed models follower links (Twitter): an edge u→v means v follows
+	// u, i.e. v is in Followers(u) and u is in Followees(v).
+	Directed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Undirected:
+		return "undirected"
+	case Directed:
+		return "directed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Graph is an immutable social graph. Build one with a Builder or a
+// generator. The zero value is an empty undirected graph.
+type Graph struct {
+	kind Kind
+	out  [][]UserID // Undirected: neighbors. Directed: followers of u.
+	in   [][]UserID // Directed only: followees of u (users u follows).
+}
+
+// Builder accumulates edges and produces a normalized Graph.
+type Builder struct {
+	kind Kind
+	n    int
+	src  []UserID
+	dst  []UserID
+}
+
+// NewBuilder returns a Builder for a graph of the given kind with n users.
+func NewBuilder(kind Kind, n int) *Builder {
+	return &Builder{kind: kind, n: n}
+}
+
+// AddEdge records an edge. For Undirected graphs the edge is symmetric; for
+// Directed graphs it means "v follows u" (v receives u's posts). Self-loops
+// and out-of-range endpoints are ignored.
+func (b *Builder) AddEdge(u, v UserID) {
+	if u == v || u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+}
+
+// Build normalizes (sorts, deduplicates) and returns the graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{kind: b.kind, out: make([][]UserID, b.n)}
+	for i := range b.src {
+		g.out[b.src[i]] = append(g.out[b.src[i]], b.dst[i])
+		if b.kind == Undirected {
+			g.out[b.dst[i]] = append(g.out[b.dst[i]], b.src[i])
+		}
+	}
+	if b.kind == Directed {
+		g.in = make([][]UserID, b.n)
+		for i := range b.src {
+			g.in[b.dst[i]] = append(g.in[b.dst[i]], b.src[i])
+		}
+	}
+	for u := range g.out {
+		g.out[u] = dedupSorted(g.out[u])
+	}
+	for u := range g.in {
+		g.in[u] = dedupSorted(g.in[u])
+	}
+	return g
+}
+
+func dedupSorted(s []UserID) []UserID {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Kind returns whether the graph is directed or undirected.
+func (g *Graph) Kind() Kind {
+	if g.kind == 0 {
+		return Undirected
+	}
+	return g.kind
+}
+
+// NumUsers returns the number of users.
+func (g *Graph) NumUsers() int { return len(g.out) }
+
+// Neighbors returns the replica-candidate set for u, which is also the
+// paper's "user degree" population: friends for an undirected graph,
+// followers for a directed one (the paper replicates a Twitter user's
+// profile on his followers). The returned slice must not be modified.
+func (g *Graph) Neighbors(u UserID) []UserID {
+	if int(u) >= len(g.out) || u < 0 {
+		return nil
+	}
+	return g.out[u]
+}
+
+// Followees returns the users u follows (directed graphs only; nil for
+// undirected graphs). The returned slice must not be modified.
+func (g *Graph) Followees(u UserID) []UserID {
+	if g.in == nil || int(u) >= len(g.in) || u < 0 {
+		return nil
+	}
+	return g.in[u]
+}
+
+// Degree returns len(Neighbors(u)).
+func (g *Graph) Degree(u UserID) int { return len(g.Neighbors(u)) }
+
+// HasEdge reports whether v is a neighbor (or follower) of u.
+func (g *Graph) HasEdge(u, v UserID) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// NumEdges returns the number of distinct edges (each undirected edge
+// counted once, each directed edge once).
+func (g *Graph) NumEdges() int {
+	total := 0
+	for u := range g.out {
+		total += len(g.out[u])
+	}
+	if g.Kind() == Undirected {
+		return total / 2
+	}
+	return total
+}
+
+// AverageDegree returns the mean of Degree over all users.
+func (g *Graph) AverageDegree() float64 {
+	if g.NumUsers() == 0 {
+		return 0
+	}
+	total := 0
+	for u := range g.out {
+		total += len(g.out[u])
+	}
+	return float64(total) / float64(g.NumUsers())
+}
+
+// DegreeHistogram returns counts[d] = number of users with degree d
+// (the series plotted in the paper's Fig. 2).
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := range g.out {
+		if d := len(g.out[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for u := range g.out {
+		counts[len(g.out[u])]++
+	}
+	return counts
+}
+
+// UsersWithDegree returns all users whose degree equals d, in ID order.
+func (g *Graph) UsersWithDegree(d int) []UserID {
+	var out []UserID
+	for u := range g.out {
+		if len(g.out[u]) == d {
+			out = append(out, UserID(u))
+		}
+	}
+	return out
+}
+
+// ModalDegree returns the degree held by the most users among degrees >=
+// minDegree, breaking ties toward the smaller degree. The paper picks
+// degree 10 because "both the datasets have the most number of users with
+// this degree". ok is false if no user has degree >= minDegree.
+func (g *Graph) ModalDegree(minDegree int) (degree int, ok bool) {
+	hist := g.DegreeHistogram()
+	best, bestCount := 0, 0
+	for d := minDegree; d < len(hist); d++ {
+		if hist[d] > bestCount {
+			best, bestCount = d, hist[d]
+		}
+	}
+	if bestCount == 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// ConnectedComponents returns, for undirected graphs, the component index of
+// each user and the number of components (directed graphs use weak
+// connectivity: edges are treated as symmetric).
+func (g *Graph) ConnectedComponents() (comp []int, n int) {
+	comp = make([]int, g.NumUsers())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []UserID
+	for start := range g.out {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = n
+		queue = append(queue[:0], UserID(start))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.out[u] {
+				if comp[v] < 0 {
+					comp[v] = n
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range g.Followees(u) {
+				if comp[v] < 0 {
+					comp[v] = n
+					queue = append(queue, v)
+				}
+			}
+		}
+		n++
+	}
+	return comp, n
+}
+
+// InducedSubgraph returns the subgraph on the given users, plus the mapping
+// from new dense IDs to original IDs. Edges with an endpoint outside the set
+// are dropped.
+func (g *Graph) InducedSubgraph(users []UserID) (*Graph, []UserID) {
+	keep := make(map[UserID]UserID, len(users))
+	orig := make([]UserID, 0, len(users))
+	for _, u := range users {
+		if _, dup := keep[u]; dup || u < 0 || int(u) >= g.NumUsers() {
+			continue
+		}
+		keep[u] = UserID(len(orig))
+		orig = append(orig, u)
+	}
+	b := NewBuilder(g.Kind(), len(orig))
+	for _, u := range orig {
+		nu := keep[u]
+		for _, v := range g.out[u] {
+			if nv, ok := keep[v]; ok {
+				if g.Kind() == Directed || nu < nv { // add undirected edges once
+					b.AddEdge(nu, nv)
+				}
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// WriteEdges writes the graph as "src,dst" CSV lines preceded by a header
+// encoding kind and size, suitable for ReadEdges.
+func (g *Graph) WriteEdges(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dosn-graph %s %d\n", g.Kind(), g.NumUsers()); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if g.Kind() == Undirected && UserID(u) > v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d,%d\n", u, v); err != nil {
+				return fmt.Errorf("write edge: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadGraphFormat is returned by ReadEdges for malformed input.
+var ErrBadGraphFormat = errors.New("socialgraph: malformed graph file")
+
+// ReadEdges parses a graph written by WriteEdges.
+func ReadEdges(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing header", ErrBadGraphFormat)
+	}
+	var kindStr string
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "# dosn-graph %s %d", &kindStr, &n); err != nil {
+		return nil, fmt.Errorf("%w: bad header %q", ErrBadGraphFormat, sc.Text())
+	}
+	kind := Undirected
+	if kindStr == "directed" {
+		kind = Directed
+	}
+	b := NewBuilder(kind, n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		comma := strings.IndexByte(text, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadGraphFormat, line, text)
+		}
+		u, err1 := strconv.Atoi(text[:comma])
+		v, err2 := strconv.Atoi(text[comma+1:])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadGraphFormat, line, text)
+		}
+		b.AddEdge(UserID(u), UserID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read edges: %w", err)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,364 @@
+package socialgraph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(Undirected, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	return b.Build()
+}
+
+func TestBuilderUndirected(t *testing.T) {
+	g := buildTriangle(t)
+	if g.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d, want 3", g.NumUsers())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	for u := UserID(0); u < 3; u++ {
+		if d := g.Degree(u); d != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", u, d)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge must be visible from both endpoints")
+	}
+}
+
+func TestBuilderIgnoresBadEdges(t *testing.T) {
+	b := NewBuilder(Undirected, 3)
+	b.AddEdge(0, 0)  // self loop
+	b.AddEdge(0, 5)  // out of range
+	b.AddEdge(-1, 1) // negative
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(1, 0) // reverse duplicate
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees = %d,%d,%d want 1,1,0", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestDirectedFollowerSemantics(t *testing.T) {
+	// Edge u→v means v follows u.
+	b := NewBuilder(Directed, 3)
+	b.AddEdge(0, 1) // 1 follows 0
+	b.AddEdge(0, 2) // 2 follows 0
+	b.AddEdge(1, 2) // 2 follows 1
+	g := b.Build()
+
+	if got := g.Neighbors(0); len(got) != 2 {
+		t.Errorf("user 0 should have 2 followers, got %v", got)
+	}
+	if got := g.Followees(2); len(got) != 2 {
+		t.Errorf("user 2 should follow 2 users, got %v", got)
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("user 2 has no followers, Degree = %d", g.Degree(2))
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	g := buildTriangle(t)
+	if g.Neighbors(99) != nil || g.Neighbors(-1) != nil {
+		t.Error("out-of-range Neighbors should be nil")
+	}
+}
+
+func TestDegreeHistogramAndModalDegree(t *testing.T) {
+	b := NewBuilder(Undirected, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	// degrees: 0→3, 1..3→1, 4→0
+	g := b.Build()
+	hist := g.DegreeHistogram()
+	want := []int{1, 3, 0, 1}
+	if !reflect.DeepEqual(hist, want) {
+		t.Errorf("DegreeHistogram = %v, want %v", hist, want)
+	}
+	d, ok := g.ModalDegree(1)
+	if !ok || d != 1 {
+		t.Errorf("ModalDegree(1) = (%d,%v), want (1,true)", d, ok)
+	}
+	if _, ok := g.ModalDegree(4); ok {
+		t.Error("ModalDegree above max degree should report !ok")
+	}
+}
+
+func TestUsersWithDegree(t *testing.T) {
+	g := buildTriangle(t)
+	if got := g.UsersWithDegree(2); len(got) != 3 {
+		t.Errorf("UsersWithDegree(2) = %v, want all 3 users", got)
+	}
+	if got := g.UsersWithDegree(7); got != nil {
+		t.Errorf("UsersWithDegree(7) = %v, want nil", got)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(Undirected, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Errorf("unexpected component assignment %v", comp)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewBuilder(Undirected, 6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	sub, orig := g.InducedSubgraph([]UserID{1, 2, 4})
+	if sub.NumUsers() != 3 {
+		t.Fatalf("sub users = %d, want 3", sub.NumUsers())
+	}
+	if sub.NumEdges() != 1 {
+		t.Errorf("sub edges = %d, want 1 (only 1-2 survives)", sub.NumEdges())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[1] != 2 || orig[2] != 4 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Undirected, Directed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			var g *Graph
+			if kind == Undirected {
+				g = GeneratePreferentialAttachment(50, 3, rng)
+			} else {
+				g = GenerateDirectedPreferentialAttachment(50, 3, 0.3, rng)
+			}
+			var buf bytes.Buffer
+			if err := g.WriteEdges(&buf); err != nil {
+				t.Fatalf("WriteEdges: %v", err)
+			}
+			g2, err := ReadEdges(&buf)
+			if err != nil {
+				t.Fatalf("ReadEdges: %v", err)
+			}
+			if g2.NumUsers() != g.NumUsers() || g2.NumEdges() != g.NumEdges() {
+				t.Fatalf("round trip mismatch: %d/%d users, %d/%d edges",
+					g2.NumUsers(), g.NumUsers(), g2.NumEdges(), g.NumEdges())
+			}
+			for u := 0; u < g.NumUsers(); u++ {
+				if !reflect.DeepEqual(g.Neighbors(UserID(u)), g2.Neighbors(UserID(u))) {
+					t.Fatalf("neighbors of %d differ", u)
+				}
+			}
+		})
+	}
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "bad header", in: "hello\n"},
+		{name: "bad line", in: "# dosn-graph undirected 3\nnot-an-edge\n"},
+		{name: "non numeric", in: "# dosn-graph undirected 3\na,b\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ReadEdges(strings.NewReader(tt.in))
+			if !errors.Is(err, ErrBadGraphFormat) {
+				t.Errorf("ReadEdges(%q) err = %v, want ErrBadGraphFormat", tt.in, err)
+			}
+		})
+	}
+}
+
+func TestGeneratePreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := GeneratePreferentialAttachment(500, 4, rng)
+	if g.NumUsers() != 500 {
+		t.Fatalf("NumUsers = %d", g.NumUsers())
+	}
+	avg := g.AverageDegree()
+	if avg < 6 || avg > 10 { // ≈ 2m = 8
+		t.Errorf("average degree = %.2f, want ≈8", avg)
+	}
+	if _, n := g.ConnectedComponents(); n != 1 {
+		t.Errorf("PA graph should be connected, has %d components", n)
+	}
+	// Heavy tail: max degree far above average.
+	hist := g.DegreeHistogram()
+	if maxDeg := len(hist) - 1; float64(maxDeg) < 3*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestGenerateDirectedPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := GenerateDirectedPreferentialAttachment(500, 5, 0.5, rng)
+	if g.Kind() != Directed {
+		t.Fatal("expected directed graph")
+	}
+	avg := g.AverageDegree()
+	if avg < 5 || avg > 12 { // m(1+reciprocity) ≈ 7.5
+		t.Errorf("average follower count = %.2f, want ≈7.5", avg)
+	}
+	// Follower/followee symmetry of counts.
+	totalIn, totalOut := 0, 0
+	for u := 0; u < g.NumUsers(); u++ {
+		totalOut += len(g.Neighbors(UserID(u)))
+		totalIn += len(g.Followees(UserID(u)))
+	}
+	if totalIn != totalOut {
+		t.Errorf("sum followers %d != sum followees %d", totalOut, totalIn)
+	}
+}
+
+func TestGenerateErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GenerateErdosRenyi(200, 0.05, rng)
+	avg := g.AverageDegree()
+	if avg < 6 || avg > 14 { // ≈ (n-1)p ≈ 10
+		t.Errorf("average degree = %.2f, want ≈10", avg)
+	}
+	if g2 := GenerateErdosRenyi(5, 0, rng); g2.NumEdges() != 0 {
+		t.Error("p=0 should yield no edges")
+	}
+	if g3 := GenerateErdosRenyi(5, 1.5, rng); g3.NumEdges() != 10 {
+		t.Errorf("p>1 clamps to complete graph, got %d edges", g3.NumEdges())
+	}
+}
+
+func TestGenerateConfigurationModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	degrees := make([]int, 100)
+	for i := range degrees {
+		degrees[i] = 4
+	}
+	g := GenerateConfigurationModel(degrees, rng)
+	avg := g.AverageDegree()
+	if avg < 3 || avg > 4.01 { // duplicates/self-loops dropped → slightly below 4
+		t.Errorf("average degree = %.2f, want ≈4", avg)
+	}
+}
+
+func TestGeneratorsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if g := GeneratePreferentialAttachment(0, 3, rng); g.NumUsers() != 0 {
+		t.Error("n=0 should be empty")
+	}
+	if g := GeneratePreferentialAttachment(1, 3, rng); g.NumUsers() != 1 || g.NumEdges() != 0 {
+		t.Error("n=1 should have no edges")
+	}
+	if g := GenerateDirectedPreferentialAttachment(0, 3, 0.2, rng); g.NumUsers() != 0 {
+		t.Error("directed n=0 should be empty")
+	}
+	g := GeneratePreferentialAttachment(10, 0, rng) // m clamps to 1
+	if g.NumEdges() < 9 {
+		t.Errorf("m=0 clamps to 1; got %d edges", g.NumEdges())
+	}
+}
+
+func TestQuickUndirectedDegreeSumEqualsTwiceEdges(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		m := int(mRaw%5) + 1
+		g := GeneratePreferentialAttachment(n, m, rand.New(rand.NewSource(seed)))
+		sum := 0
+		for u := 0; u < g.NumUsers(); u++ {
+			sum += g.Degree(UserID(u))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNeighborsSortedUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GenerateErdosRenyi(60, 0.1, rng)
+		for u := 0; u < g.NumUsers(); u++ {
+			ns := g.Neighbors(UserID(u))
+			for i := 1; i < len(ns); i++ {
+				if ns[i] <= ns[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeneratorDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		g1 := GeneratePreferentialAttachment(80, 3, rand.New(rand.NewSource(seed)))
+		g2 := GeneratePreferentialAttachment(80, 3, rand.New(rand.NewSource(seed)))
+		if g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		for u := 0; u < g1.NumUsers(); u++ {
+			if !reflect.DeepEqual(g1.Neighbors(UserID(u)), g2.Neighbors(UserID(u))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GenerateWattsStrogatz(200, 6, 0.1, rng)
+	if g.NumUsers() != 200 {
+		t.Fatalf("NumUsers = %d", g.NumUsers())
+	}
+	avg := g.AverageDegree()
+	if avg < 4.5 || avg > 6.5 { // ≈k, minus dropped duplicates from rewiring
+		t.Errorf("average degree = %.2f, want ≈6", avg)
+	}
+	if _, n := g.ConnectedComponents(); n > 3 {
+		t.Errorf("small-world graph split into %d components", n)
+	}
+	// beta=0 is the pure ring lattice: every degree exactly k.
+	ring := GenerateWattsStrogatz(50, 4, 0, rng)
+	for u := 0; u < 50; u++ {
+		if d := ring.Degree(UserID(u)); d != 4 {
+			t.Fatalf("ring lattice degree(%d) = %d, want 4", u, d)
+		}
+	}
+	if g := GenerateWattsStrogatz(2, 2, 0.5, rng); g.NumEdges() != 0 {
+		t.Error("degenerate sizes should yield no edges")
+	}
+}

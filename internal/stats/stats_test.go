@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if !almost(StdDev(xs), 2) {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {150, 5}, {12.5, 1.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almost(got, tt.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 6 || !almost(w.Mean(), Mean(xs)) {
+		t.Errorf("Welford mean = %v n=%d", w.Mean(), w.N())
+	}
+	wantVar := StdDev(xs) * StdDev(xs)
+	if !almost(w.Variance(), wantVar) {
+		t.Errorf("Welford variance = %v, want %v", w.Variance(), wantVar)
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	var whole, a, b Welford
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() || !almost(a.Mean(), whole.Mean()) || !almost(a.Variance(), whole.Variance()) {
+		t.Errorf("merged = (%d,%v,%v), want (%d,%v,%v)",
+			a.N(), a.Mean(), a.Variance(), whole.N(), whole.Mean(), whole.Variance())
+	}
+	var empty Welford
+	empty.Merge(whole)
+	if !almost(empty.Mean(), whole.Mean()) {
+		t.Error("merging into empty should copy")
+	}
+	before := whole.Mean()
+	whole.Merge(Welford{})
+	if !almost(whole.Mean(), before) {
+		t.Error("merging empty should be a no-op")
+	}
+}
+
+func TestBezierSmoothEndpoints(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 10}, {2, 0}, {3, 10}}
+	sm := BezierSmooth(pts, 50)
+	if len(sm) != 50 {
+		t.Fatalf("len = %d", len(sm))
+	}
+	if !almost(sm[0].X, 0) || !almost(sm[0].Y, 0) {
+		t.Errorf("curve must start at first control point, got %+v", sm[0])
+	}
+	last := sm[len(sm)-1]
+	if !almost(last.X, 3) || !almost(last.Y, 10) {
+		t.Errorf("curve must end at last control point, got %+v", last)
+	}
+	// Bézier curves stay inside the control polygon's bounding box.
+	for _, p := range sm {
+		if p.Y < -1e-9 || p.Y > 10+1e-9 || p.X < -1e-9 || p.X > 3+1e-9 {
+			t.Fatalf("point %+v escapes the control hull", p)
+		}
+	}
+}
+
+func TestBezierSmoothDegenerate(t *testing.T) {
+	if BezierSmooth(nil, 10) != nil {
+		t.Error("empty input should return nil")
+	}
+	one := BezierSmooth([]Point{{1, 2}}, 10)
+	if len(one) != 1 || one[0] != (Point{1, 2}) {
+		t.Errorf("single point should be copied, got %v", one)
+	}
+	two := BezierSmooth([]Point{{0, 0}, {1, 1}}, 1)
+	if len(two) != 2 {
+		t.Errorf("n<2 should copy input, got %v", two)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(100, 100000, 4)
+	want := []float64{100, 1000, 10000, 100000}
+	if len(xs) != 4 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	for i := range want {
+		if math.Abs(xs[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	if LogSpace(0, 10, 3) != nil || LogSpace(1, 10, 0) != nil {
+		t.Error("invalid inputs should return nil")
+	}
+	if one := LogSpace(5, 50, 1); len(one) != 1 || one[0] != 5 {
+		t.Errorf("n=1 should return {lo}, got %v", one)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(edges) != 6 || len(counts) != 5 {
+		t.Fatalf("edges=%d counts=%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram loses samples: %v", counts)
+	}
+	if _, c := Histogram([]float64{7, 7, 7}, 3); c[0] != 3 {
+		t.Errorf("constant data should land in first bin, got %v", c)
+	}
+	if e, c := Histogram(nil, 3); e != nil || c != nil {
+		t.Error("empty data should return nils")
+	}
+}
+
+func TestQuickWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			w.Add(xs[i])
+		}
+		return almost(w.Mean(), Mean(xs)) && math.Abs(w.Variance()-StdDev(xs)*StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// snapshot is the serialized form of a Store.
+type snapshot struct {
+	Node  NodeID         `json:"node"`
+	Walls []wallSnapshot `json:"walls"`
+}
+
+type wallSnapshot struct {
+	Owner  NodeID           `json:"owner"`
+	Posts  []Post           `json:"posts"`
+	Fields map[string]Field `json:"fields"`
+	// AuthorSeq preserves this node's own authoring counter for the wall so
+	// a restarted node never reuses post IDs.
+	AuthorSeq uint64 `json:"authorSeq"`
+}
+
+// Save writes the full store state as JSON. The snapshot is deterministic:
+// walls and posts are emitted in sorted order.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := snapshot{Node: s.node}
+	for _, owner := range s.wallsLocked() {
+		wall := s.walls[owner]
+		snap.Walls = append(snap.Walls, wallSnapshot{
+			Owner:     owner,
+			Posts:     wall.Posts(),
+			Fields:    wall.Fields(),
+			AuthorSeq: s.authorSeq[owner],
+		})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("store save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// wallsLocked returns hosted wall IDs in sorted order; callers must hold mu.
+func (s *Store) wallsLocked() []NodeID {
+	out := make([]NodeID, 0, len(s.walls))
+	for w := range s.walls {
+		out = append(out, w)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Load restores a store from a snapshot written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := json.NewDecoder(bufio.NewReader(r)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store load: %w", err)
+	}
+	s := New(snap.Node)
+	for _, ws := range snap.Walls {
+		s.Host(ws.Owner)
+		for _, p := range ws.Posts {
+			if p.Wall != ws.Owner {
+				return nil, fmt.Errorf("store load: post %v filed under wall %d", p.ID, ws.Owner)
+			}
+			if _, err := s.Apply(p); err != nil {
+				return nil, fmt.Errorf("store load: %w", err)
+			}
+		}
+		for name, f := range ws.Fields {
+			if _, err := s.SetField(ws.Owner, name, f); err != nil {
+				return nil, fmt.Errorf("store load: %w", err)
+			}
+		}
+		s.mu.Lock()
+		if ws.AuthorSeq > s.authorSeq[ws.Owner] {
+			s.authorSeq[ws.Owner] = ws.AuthorSeq
+		}
+		s.mu.Unlock()
+	}
+	return s, nil
+}

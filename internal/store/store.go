@@ -1,0 +1,348 @@
+// Package store implements the replicated profile storage of the OSN node
+// runtime: per-wall post logs summarized by version vectors for delta-based
+// anti-entropy, and last-writer-wins profile fields for the semi-private
+// profile part the paper's §II-B2 describes. All operations are idempotent
+// and commutative, giving the eventual consistency the paper argues is
+// adequate for decentralized OSNs (§II-B1).
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dosn/internal/vclock"
+)
+
+// NodeID identifies users/nodes; it matches socialgraph.UserID.
+type NodeID = int32
+
+// PostID uniquely identifies a wall post by its author and the author's
+// per-wall sequence number.
+type PostID struct {
+	Author NodeID `json:"author"`
+	Seq    uint64 `json:"seq"`
+}
+
+// Post is one wall activity (a wall post or a tweet landing on a profile).
+type Post struct {
+	ID PostID `json:"id"`
+	// Wall is the profile the post belongs to.
+	Wall NodeID `json:"wall"`
+	// Body is the content.
+	Body string `json:"body"`
+	// CreatedAt is the creation instant in simulated minutes (or any
+	// monotone clock agreed by the deployment).
+	CreatedAt int64 `json:"createdAt"`
+}
+
+// Field is a last-writer-wins profile attribute value.
+type Field struct {
+	Value string `json:"value"`
+	// At is the write timestamp; Writer breaks timestamp ties so replicas
+	// converge deterministically.
+	At     int64  `json:"at"`
+	Writer NodeID `json:"writer"`
+}
+
+// newer reports whether f wins over o under LWW. Ties resolve by writer and
+// finally by value, so the order is total and replicas converge even when
+// two writes share a timestamp and writer.
+func (f Field) newer(o Field) bool {
+	if f.At != o.At {
+		return f.At > o.At
+	}
+	if f.Writer != o.Writer {
+		return f.Writer > o.Writer
+	}
+	return f.Value > o.Value
+}
+
+// Wall is the replicated state of one profile: its post log and fields.
+type Wall struct {
+	Owner  NodeID
+	posts  map[PostID]Post
+	digest vclock.Clock
+	fields map[string]Field
+}
+
+// NewWall returns an empty wall for the owner.
+func NewWall(owner NodeID) *Wall {
+	return &Wall{
+		Owner:  owner,
+		posts:  make(map[PostID]Post),
+		digest: vclock.New(),
+		fields: make(map[string]Field),
+	}
+}
+
+// Add inserts a post idempotently and returns whether it was new.
+func (w *Wall) Add(p Post) bool {
+	if _, dup := w.posts[p.ID]; dup {
+		return false
+	}
+	w.posts[p.ID] = p
+	w.digest.Observe(p.ID.Author, p.ID.Seq)
+	return true
+}
+
+// Len returns the number of posts on the wall.
+func (w *Wall) Len() int { return len(w.posts) }
+
+// Digest returns a copy of the wall's version vector: for each author the
+// highest sequence number stored.
+func (w *Wall) Digest() vclock.Clock { return w.digest.Copy() }
+
+// MissingFrom returns the posts the holder of the given digest lacks,
+// ordered deterministically. This is the anti-entropy delta.
+func (w *Wall) MissingFrom(d vclock.Clock) []Post {
+	var out []Post
+	for id, p := range w.posts {
+		if id.Seq > d.Get(id.Author) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Author != out[j].ID.Author {
+			return out[i].ID.Author < out[j].ID.Author
+		}
+		return out[i].ID.Seq < out[j].ID.Seq
+	})
+	return out
+}
+
+// Posts returns all posts sorted by (CreatedAt, ID) — the wall rendering
+// order.
+func (w *Wall) Posts() []Post {
+	out := make([]Post, 0, len(w.posts))
+	for _, p := range w.posts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CreatedAt != out[j].CreatedAt {
+			return out[i].CreatedAt < out[j].CreatedAt
+		}
+		if out[i].ID.Author != out[j].ID.Author {
+			return out[i].ID.Author < out[j].ID.Author
+		}
+		return out[i].ID.Seq < out[j].ID.Seq
+	})
+	return out
+}
+
+// SetField applies a LWW write; it returns whether the value now stored
+// changed.
+func (w *Wall) SetField(name string, f Field) bool {
+	cur, ok := w.fields[name]
+	if ok && !f.newer(cur) {
+		return false
+	}
+	w.fields[name] = f
+	return true
+}
+
+// GetField returns the current field value.
+func (w *Wall) GetField(name string) (Field, bool) {
+	f, ok := w.fields[name]
+	return f, ok
+}
+
+// Fields returns a copy of all fields.
+func (w *Wall) Fields() map[string]Field {
+	out := make(map[string]Field, len(w.fields))
+	for k, v := range w.fields {
+		out[k] = v
+	}
+	return out
+}
+
+// MergeFields applies every LWW field from o.
+func (w *Wall) MergeFields(o map[string]Field) {
+	for name, f := range o {
+		w.SetField(name, f)
+	}
+}
+
+// Store is a node's collection of wall replicas (its own wall plus the walls
+// it hosts for friends). It is safe for concurrent use: the TCP node serves
+// sync sessions from multiple peers.
+type Store struct {
+	mu    sync.RWMutex
+	node  NodeID
+	walls map[NodeID]*Wall
+	// seq numbers this node assigned per wall, for authoring new posts.
+	authorSeq map[NodeID]uint64
+}
+
+// New returns an empty store for the node.
+func New(node NodeID) *Store {
+	return &Store{
+		node:      node,
+		walls:     make(map[NodeID]*Wall),
+		authorSeq: make(map[NodeID]uint64),
+	}
+}
+
+// Node returns the owning node's ID.
+func (s *Store) Node() NodeID { return s.node }
+
+// Host ensures the store replicates the given wall.
+func (s *Store) Host(owner NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.walls[owner]; !ok {
+		s.walls[owner] = NewWall(owner)
+	}
+}
+
+// Hosts reports whether the store replicates the wall.
+func (s *Store) Hosts(owner NodeID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.walls[owner]
+	return ok
+}
+
+// Walls lists the hosted walls in ID order.
+func (s *Store) Walls() []NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]NodeID, 0, len(s.walls))
+	for w := range s.walls {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrNotHosted is returned when the store does not replicate a wall.
+type ErrNotHosted struct{ Wall NodeID }
+
+func (e *ErrNotHosted) Error() string {
+	return fmt.Sprintf("store: wall %d not hosted here", e.Wall)
+}
+
+// Author creates a new post by this node on the given wall (which must be
+// hosted locally — the author first writes to his own replica or to a
+// replica he fetched).
+func (s *Store) Author(wall NodeID, body string, at int64) (Post, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return Post{}, &ErrNotHosted{Wall: wall}
+	}
+	s.authorSeq[wall]++
+	p := Post{
+		ID:        PostID{Author: s.node, Seq: s.authorSeq[wall]},
+		Wall:      wall,
+		Body:      body,
+		CreatedAt: at,
+	}
+	w.Add(p)
+	return p, nil
+}
+
+// Apply inserts a replicated post; it returns whether it was new.
+func (s *Store) Apply(p Post) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.walls[p.Wall]
+	if !ok {
+		return false, &ErrNotHosted{Wall: p.Wall}
+	}
+	// Keep authoring sequence ahead of anything seen, so a node that
+	// re-hosts its own history never reuses an ID.
+	if p.ID.Author == s.node && p.ID.Seq > s.authorSeq[p.Wall] {
+		s.authorSeq[p.Wall] = p.ID.Seq
+	}
+	return w.Add(p), nil
+}
+
+// Digest returns the version vector of a hosted wall.
+func (s *Store) Digest(wall NodeID) (vclock.Clock, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return nil, &ErrNotHosted{Wall: wall}
+	}
+	return w.Digest(), nil
+}
+
+// MissingFrom returns the posts of a hosted wall the given digest lacks.
+func (s *Store) MissingFrom(wall NodeID, d vclock.Clock) ([]Post, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return nil, &ErrNotHosted{Wall: wall}
+	}
+	return w.MissingFrom(d), nil
+}
+
+// Posts returns a hosted wall's posts in rendering order.
+func (s *Store) Posts(wall NodeID) ([]Post, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return nil, &ErrNotHosted{Wall: wall}
+	}
+	return w.Posts(), nil
+}
+
+// SetField applies an LWW profile-field write to a hosted wall.
+func (s *Store) SetField(wall NodeID, name string, f Field) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return false, &ErrNotHosted{Wall: wall}
+	}
+	return w.SetField(name, f), nil
+}
+
+// Fields returns a hosted wall's profile fields.
+func (s *Store) Fields(wall NodeID) (map[string]Field, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.walls[wall]
+	if !ok {
+		return nil, &ErrNotHosted{Wall: wall}
+	}
+	return w.Fields(), nil
+}
+
+// SyncInto performs one full anti-entropy round from s into dst for every
+// wall both stores host, and returns the number of posts transferred.
+// Fields are merged in both directions (LWW makes that safe).
+func (s *Store) SyncInto(dst *Store) int {
+	transferred := 0
+	for _, wall := range s.Walls() {
+		if !dst.Hosts(wall) {
+			continue
+		}
+		d, err := dst.Digest(wall)
+		if err != nil {
+			continue
+		}
+		missing, err := s.MissingFrom(wall, d)
+		if err != nil {
+			continue
+		}
+		for _, p := range missing {
+			if ok, err := dst.Apply(p); err == nil && ok {
+				transferred++
+			}
+		}
+		if fs, err := s.Fields(wall); err == nil {
+			dst.mu.Lock()
+			if w, ok := dst.walls[wall]; ok {
+				w.MergeFields(fs)
+			}
+			dst.mu.Unlock()
+		}
+	}
+	return transferred
+}

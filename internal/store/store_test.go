@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dosn/internal/vclock"
+)
+
+func TestWallAddIdempotent(t *testing.T) {
+	w := NewWall(1)
+	p := Post{ID: PostID{Author: 2, Seq: 1}, Wall: 1, Body: "hi", CreatedAt: 5}
+	if !w.Add(p) {
+		t.Error("first Add should be new")
+	}
+	if w.Add(p) {
+		t.Error("second Add must be a no-op")
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d, want 1", w.Len())
+	}
+	if w.Digest().Get(2) != 1 {
+		t.Errorf("digest = %v", w.Digest())
+	}
+}
+
+func TestWallMissingFrom(t *testing.T) {
+	w := NewWall(1)
+	for seq := uint64(1); seq <= 3; seq++ {
+		w.Add(Post{ID: PostID{Author: 2, Seq: seq}, Wall: 1, CreatedAt: int64(seq)})
+	}
+	w.Add(Post{ID: PostID{Author: 3, Seq: 1}, Wall: 1, CreatedAt: 9})
+
+	d := vclock.New()
+	d.Observe(2, 2) // has the first two of author 2, nothing of author 3
+	missing := w.MissingFrom(d)
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want 2 posts", missing)
+	}
+	if missing[0].ID != (PostID{Author: 2, Seq: 3}) || missing[1].ID != (PostID{Author: 3, Seq: 1}) {
+		t.Errorf("missing order = %v", missing)
+	}
+	if got := w.MissingFrom(w.Digest()); len(got) != 0 {
+		t.Errorf("nothing should be missing from own digest, got %v", got)
+	}
+}
+
+func TestWallPostsOrdering(t *testing.T) {
+	w := NewWall(1)
+	w.Add(Post{ID: PostID{Author: 3, Seq: 1}, Wall: 1, CreatedAt: 10})
+	w.Add(Post{ID: PostID{Author: 2, Seq: 1}, Wall: 1, CreatedAt: 10})
+	w.Add(Post{ID: PostID{Author: 2, Seq: 2}, Wall: 1, CreatedAt: 3})
+	ps := w.Posts()
+	if ps[0].CreatedAt != 3 {
+		t.Errorf("posts not time-ordered: %v", ps)
+	}
+	if ps[1].ID.Author != 2 || ps[2].ID.Author != 3 {
+		t.Errorf("equal-time posts must order by author: %v", ps)
+	}
+}
+
+func TestFieldLWW(t *testing.T) {
+	w := NewWall(1)
+	if !w.SetField("status", Field{Value: "hello", At: 1, Writer: 1}) {
+		t.Error("first write should apply")
+	}
+	if w.SetField("status", Field{Value: "old", At: 0, Writer: 2}) {
+		t.Error("older write must lose")
+	}
+	if !w.SetField("status", Field{Value: "new", At: 2, Writer: 2}) {
+		t.Error("newer write must win")
+	}
+	// Timestamp tie: higher writer wins.
+	if !w.SetField("status", Field{Value: "tie", At: 2, Writer: 9}) {
+		t.Error("tie should resolve to higher writer")
+	}
+	f, ok := w.GetField("status")
+	if !ok || f.Value != "tie" {
+		t.Errorf("field = %+v", f)
+	}
+	if _, ok := w.GetField("missing"); ok {
+		t.Error("missing field should report !ok")
+	}
+}
+
+func TestStoreAuthorAndApply(t *testing.T) {
+	s := New(7)
+	s.Host(7)
+	p1, err := s.Author(7, "first", 1)
+	if err != nil {
+		t.Fatalf("Author: %v", err)
+	}
+	p2, _ := s.Author(7, "second", 2)
+	if p1.ID.Seq != 1 || p2.ID.Seq != 2 {
+		t.Errorf("sequence numbers = %d,%d", p1.ID.Seq, p2.ID.Seq)
+	}
+	if _, err := s.Author(99, "nope", 1); err == nil {
+		t.Error("authoring on unhosted wall must fail")
+	}
+	var nh *ErrNotHosted
+	_, err = s.Posts(99)
+	if !errors.As(err, &nh) || nh.Wall != 99 {
+		t.Errorf("err = %v, want ErrNotHosted{99}", err)
+	}
+}
+
+func TestStoreApplyAdvancesOwnSeq(t *testing.T) {
+	s := New(7)
+	s.Host(7)
+	// A replica returns our own old post (e.g. after data loss).
+	if ok, err := s.Apply(Post{ID: PostID{Author: 7, Seq: 5}, Wall: 7, CreatedAt: 1}); err != nil || !ok {
+		t.Fatalf("Apply: %v %v", ok, err)
+	}
+	p, err := s.Author(7, "new", 2)
+	if err != nil {
+		t.Fatalf("Author: %v", err)
+	}
+	if p.ID.Seq != 6 {
+		t.Errorf("new post seq = %d, want 6 (must not reuse IDs)", p.ID.Seq)
+	}
+}
+
+func TestSyncIntoTransfersDeltas(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	for _, s := range []*Store{a, b} {
+		s.Host(10)
+	}
+	a.Host(11) // only a hosts wall 11
+	if _, err := a.Author(10, "on-ten", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Author(11, "on-eleven", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetField(10, "bio", Field{Value: "x", At: 1, Writer: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	n := a.SyncInto(b)
+	if n != 1 {
+		t.Errorf("transferred = %d, want 1 (wall 11 is not common)", n)
+	}
+	ps, _ := b.Posts(10)
+	if len(ps) != 1 || ps[0].Body != "on-ten" {
+		t.Errorf("b posts = %v", ps)
+	}
+	fs, _ := b.Fields(10)
+	if fs["bio"].Value != "x" {
+		t.Errorf("b fields = %v", fs)
+	}
+	// Resync is a no-op.
+	if n := a.SyncInto(b); n != 0 {
+		t.Errorf("resync transferred %d, want 0", n)
+	}
+}
+
+func TestBidirectionalSyncConverges(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	a.Host(10)
+	b.Host(10)
+	if _, err := a.Author(10, "from-a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Author(10, "from-b", 2); err != nil {
+		t.Fatal(err)
+	}
+	a.SyncInto(b)
+	b.SyncInto(a)
+	pa, _ := a.Posts(10)
+	pb, _ := b.Posts(10)
+	if len(pa) != 2 || len(pb) != 2 {
+		t.Fatalf("walls did not converge: %d vs %d posts", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Errorf("post %d differs: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestWallsSorted(t *testing.T) {
+	s := New(1)
+	s.Host(5)
+	s.Host(2)
+	s.Host(9)
+	got := s.Walls()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Errorf("Walls = %v", got)
+	}
+	if !s.Hosts(5) || s.Hosts(6) {
+		t.Error("Hosts mismatch")
+	}
+}
+
+// Property: any interleaving of syncs over a random post set converges all
+// replicas to the same wall content (eventual consistency).
+func TestQuickSyncConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const wall = NodeID(100)
+		stores := make([]*Store, 3)
+		for i := range stores {
+			stores[i] = New(NodeID(i))
+			stores[i].Host(wall)
+		}
+		// Random authorship.
+		for i := 0; i < 10; i++ {
+			s := stores[rng.Intn(len(stores))]
+			if _, err := s.Author(wall, "p", int64(i)); err != nil {
+				return false
+			}
+		}
+		// Random gossip rounds, then a full round-robin to guarantee
+		// delivery.
+		for i := 0; i < 5; i++ {
+			a, b := rng.Intn(3), rng.Intn(3)
+			if a != b {
+				stores[a].SyncInto(stores[b])
+			}
+		}
+		for i := range stores {
+			for j := range stores {
+				if i != j {
+					stores[i].SyncInto(stores[j])
+				}
+			}
+		}
+		ref, _ := stores[0].Posts(wall)
+		for _, s := range stores[1:] {
+			ps, _ := s.Posts(wall)
+			if len(ps) != len(ref) {
+				return false
+			}
+			for k := range ps {
+				if ps[k] != ref[k] {
+					return false
+				}
+			}
+		}
+		return len(ref) == 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LWW field writes converge regardless of apply order.
+func TestQuickLWWConvergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		writes := make([]Field, 6)
+		for i := range writes {
+			writes[i] = Field{Value: string(rune('a' + i)), At: int64(rng.Intn(4)), Writer: NodeID(rng.Intn(3))}
+		}
+		apply := func(order []int) Field {
+			w := NewWall(1)
+			for _, i := range order {
+				w.SetField("f", writes[i])
+			}
+			f, _ := w.GetField("f")
+			return f
+		}
+		order1 := rng.Perm(len(writes))
+		order2 := rng.Perm(len(writes))
+		return apply(order1) == apply(order2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New(7)
+	s.Host(7)
+	s.Host(10)
+	if _, err := s.Author(7, "mine", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Author(10, "on-friend", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(Post{ID: PostID{Author: 3, Seq: 4}, Wall: 10, Body: "replicated", CreatedAt: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetField(7, "bio", Field{Value: "x", At: 9, Writer: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Node() != 7 {
+		t.Errorf("node = %d", back.Node())
+	}
+	if got := back.Walls(); len(got) != 2 || got[0] != 7 || got[1] != 10 {
+		t.Fatalf("walls = %v", got)
+	}
+	for _, wall := range []NodeID{7, 10} {
+		want, _ := s.Posts(wall)
+		got, _ := back.Posts(wall)
+		if len(want) != len(got) {
+			t.Fatalf("wall %d: %d vs %d posts", wall, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Errorf("wall %d post %d: %+v vs %+v", wall, i, got[i], want[i])
+			}
+		}
+	}
+	fs, _ := back.Fields(7)
+	if fs["bio"].Value != "x" {
+		t.Errorf("fields = %v", fs)
+	}
+	// Authoring after restore must not reuse IDs.
+	p, err := back.Author(7, "after-restart", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID.Seq != 2 {
+		t.Errorf("post-restart seq = %d, want 2", p.ID.Seq)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage must fail to load")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"node":1,"walls":[{"owner":2,"posts":[{"id":{"author":1,"seq":1},"wall":99}]}]}`))); err == nil {
+		t.Error("mismatched wall IDs must fail to load")
+	}
+}

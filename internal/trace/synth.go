@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dosn/internal/socialgraph"
+)
+
+// Paper-reported sizes of the filtered traces; used by the "paper" scale.
+const (
+	// PaperFacebookUsers is the filtered New Orleans trace size (13,884
+	// users, average degree 41, ~50 wall posts per user).
+	PaperFacebookUsers = 13884
+	// PaperTwitterUsers is the filtered Twitter trace size (14,933 users,
+	// average follower degree 76).
+	PaperTwitterUsers = 14933
+)
+
+// SynthConfig parameterizes a synthetic dataset calibrated to one of the
+// paper's traces. See DESIGN.md §4 for the substitution rationale: the
+// metrics depend on the degree distribution, per-user activity volume,
+// diurnal clustering of activity times, and interaction skew — all of which
+// are reproduced here.
+type SynthConfig struct {
+	// Name labels the dataset.
+	Name string
+	// Directed selects a follower graph (Twitter) over friendship (Facebook).
+	Directed bool
+	// Users is the number of users.
+	Users int
+	// MeanDegree and SigmaDegree parameterize the log-normal degree
+	// (follower-count) distribution. Log-normal fits both traces' heavy
+	// tails while keeping plenty of users at the paper's modal degree 10.
+	MeanDegree  float64
+	SigmaDegree float64
+	// MeanActivities and SigmaActivities parameterize the log-normal
+	// per-user created-activity count.
+	MeanActivities  float64
+	SigmaActivities float64
+	// Days is the trace length in days (the paper's Twitter trace spans 14).
+	Days int
+	// AffinityZipfS skews which friend an activity targets (rank-1/rank^s),
+	// giving the MostActive policy its signal. 0 disables the skew.
+	AffinityZipfS float64
+	// DiurnalSigmaMinutes is the spread of a user's activity times around
+	// his home minute-of-day.
+	DiurnalSigmaMinutes float64
+	// UniformFraction is the share of activities at a uniform time of day
+	// (background noise off the diurnal peaks).
+	UniformFraction float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultFacebookConfig returns a Facebook-like configuration with the given
+// number of users (use PaperFacebookUsers for the paper-scale trace).
+func DefaultFacebookConfig(users int) SynthConfig {
+	return SynthConfig{
+		Name:                "facebook",
+		Directed:            false,
+		Users:               users,
+		MeanDegree:          41,
+		SigmaDegree:         0.95,
+		MeanActivities:      55,
+		SigmaActivities:     0.9,
+		Days:                30,
+		AffinityZipfS:       1.0,
+		DiurnalSigmaMinutes: 70,
+		UniformFraction:     0.05,
+		Seed:                1,
+	}
+}
+
+// DefaultTwitterConfig returns a Twitter-like configuration with the given
+// number of users (use PaperTwitterUsers for the paper-scale trace).
+func DefaultTwitterConfig(users int) SynthConfig {
+	return SynthConfig{
+		Name:                "twitter",
+		Directed:            true,
+		Users:               users,
+		MeanDegree:          76,
+		SigmaDegree:         1.1,
+		MeanActivities:      40,
+		SigmaActivities:     1.0,
+		Days:                14,
+		AffinityZipfS:       1.2,
+		DiurnalSigmaMinutes: 90,
+		UniformFraction:     0.08,
+		Seed:                2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c SynthConfig) Validate() error {
+	switch {
+	case c.Users <= 0:
+		return errors.New("trace: config needs Users > 0")
+	case c.MeanDegree <= 0:
+		return errors.New("trace: config needs MeanDegree > 0")
+	case c.MeanActivities < 0:
+		return errors.New("trace: config needs MeanActivities >= 0")
+	case c.Days <= 0:
+		return errors.New("trace: config needs Days > 0")
+	case c.UniformFraction < 0 || c.UniformFraction > 1:
+		return errors.New("trace: UniformFraction must be in [0,1]")
+	default:
+		return nil
+	}
+}
+
+// Synthesize generates a dataset from the configuration. Generation is
+// deterministic for a given config.
+func Synthesize(cfg SynthConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	degrees := lognormalInts(rng, cfg.Users, cfg.MeanDegree, cfg.SigmaDegree, 1, cfg.Users-1)
+	var g *socialgraph.Graph
+	if cfg.Directed {
+		g = followerGraph(degrees, rng)
+	} else {
+		g = socialgraph.GenerateConfigurationModel(degrees, rng)
+	}
+
+	// Each user gets a home minute-of-day drawn from a two-peak diurnal
+	// mixture (midday and evening), around which his activities cluster.
+	// FixedLength online windows center on exactly this clustering.
+	homes := make([]int, cfg.Users)
+	for u := range homes {
+		homes[u] = sampleHomeMinute(rng)
+	}
+
+	counts := lognormalInts(rng, cfg.Users, cfg.MeanActivities, cfg.SigmaActivities, 0, 100000)
+	d := &Dataset{Name: cfg.Name, Graph: g}
+	est := 0
+	for _, c := range counts {
+		est += c
+	}
+	d.Activities = make([]Activity, 0, est)
+	zipf := newZipfSampler(cfg.AffinityZipfS)
+	for u := 0; u < cfg.Users; u++ {
+		targets := activityTargets(g, socialgraph.UserID(u))
+		if len(targets) == 0 {
+			continue
+		}
+		// Each user has his own stable favorite order; without the shuffle
+		// the Zipf skew would systematically favor low user IDs (friend
+		// lists are ID-sorted) and bias the MostActive policy globally.
+		perm := rng.Perm(len(targets))
+		for i := 0; i < counts[u]; i++ {
+			recv := targets[perm[zipf.rank(rng, len(targets))]]
+			minute := sampleMinute(rng, homes[u], cfg)
+			day := rng.Intn(cfg.Days)
+			at := Epoch.Add(time.Duration(day)*24*time.Hour +
+				time.Duration(minute)*time.Minute +
+				time.Duration(rng.Intn(60))*time.Second)
+			d.Activities = append(d.Activities, Activity{
+				Creator:  socialgraph.UserID(u),
+				Receiver: recv,
+				At:       at,
+			})
+		}
+	}
+	d.Reindex()
+	return d, nil
+}
+
+// activityTargets returns the users u's activities can land on: friends in
+// an undirected graph; followees in a follower graph (so that the creators
+// of activity on a profile are exactly the profile owner's replica
+// candidates — his followers).
+func activityTargets(g *socialgraph.Graph, u socialgraph.UserID) []socialgraph.UserID {
+	if g.Kind() == socialgraph.Directed {
+		return g.Followees(u)
+	}
+	return g.Neighbors(u)
+}
+
+// followerGraph assigns each user the given number of followers, drawn
+// uniformly from the other users. The heavy tail comes from the follower-
+// count sequence itself.
+func followerGraph(followerCounts []int, rng *rand.Rand) *socialgraph.Graph {
+	n := len(followerCounts)
+	b := socialgraph.NewBuilder(socialgraph.Directed, n)
+	for u := 0; u < n; u++ {
+		want := followerCounts[u]
+		if want > n-1 {
+			want = n - 1
+		}
+		seen := make(map[int]bool, want)
+		for len(seen) < want {
+			f := rng.Intn(n)
+			if f == u || seen[f] {
+				continue
+			}
+			seen[f] = true
+		}
+		fs := make([]int, 0, len(seen))
+		for f := range seen {
+			fs = append(fs, f)
+		}
+		sort.Ints(fs) // determinism: map order must not leak into the graph
+		for _, f := range fs {
+			b.AddEdge(socialgraph.UserID(u), socialgraph.UserID(f)) // f follows u
+		}
+	}
+	return b.Build()
+}
+
+// lognormalInts draws n integers from a log-normal distribution with the
+// given mean, clamped to [lo, hi].
+func lognormalInts(rng *rand.Rand, n int, mean, sigma float64, lo, hi int) []int {
+	mu := math.Log(mean) - sigma*sigma/2
+	out := make([]int, n)
+	for i := range out {
+		v := int(math.Round(math.Exp(mu + sigma*rng.NormFloat64())))
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// sampleHomeMinute draws a user's home minute-of-day from a two-peak
+// mixture: midday (12:30) and evening (20:30), the diurnal shape observed
+// in OSN measurement studies the paper cites.
+func sampleHomeMinute(rng *rand.Rand) int {
+	var mean, sigma float64
+	if rng.Float64() < 0.4 {
+		mean, sigma = 12.5*60, 120
+	} else {
+		mean, sigma = 20.5*60, 150
+	}
+	return wrapMinute(int(mean + sigma*rng.NormFloat64()))
+}
+
+// sampleMinute draws an activity minute-of-day around the creator's home
+// minute, with a uniform background fraction.
+func sampleMinute(rng *rand.Rand, home int, cfg SynthConfig) int {
+	if rng.Float64() < cfg.UniformFraction {
+		return rng.Intn(24 * 60)
+	}
+	return wrapMinute(home + int(cfg.DiurnalSigmaMinutes*rng.NormFloat64()))
+}
+
+func wrapMinute(m int) int {
+	const day = 24 * 60
+	m %= day
+	if m < 0 {
+		m += day
+	}
+	return m
+}
+
+// zipfSampler draws ranks in [0, n) with probability ∝ 1/(rank+1)^s,
+// memoizing the cumulative weights per list length.
+type zipfSampler struct {
+	s   float64
+	cum map[int][]float64
+}
+
+func newZipfSampler(s float64) *zipfSampler {
+	return &zipfSampler{s: s, cum: make(map[int][]float64)}
+}
+
+func (z *zipfSampler) rank(rng *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if z.s <= 0 {
+		return rng.Intn(n)
+	}
+	cum, ok := z.cum[n]
+	if !ok {
+		cum = make([]float64, n)
+		acc := 0.0
+		for r := 0; r < n; r++ {
+			acc += math.Pow(float64(r+1), -z.s)
+			cum[r] = acc
+		}
+		z.cum[n] = cum
+	}
+	x := rng.Float64() * cum[n-1]
+	lo := sort.SearchFloat64s(cum, x)
+	if lo >= n {
+		lo = n - 1
+	}
+	return lo
+}
+
+// MustSynthesize is Synthesize for tests and examples with known-good
+// configs; it panics on config errors.
+func MustSynthesize(cfg SynthConfig) *Dataset {
+	d, err := Synthesize(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("trace: MustSynthesize(%+v): %v", cfg, err))
+	}
+	return d
+}

@@ -1,0 +1,330 @@
+// Package trace provides activity traces and datasets for the study: the
+// (creator, receiver, timestamp) activity records the paper extracts from the
+// Facebook New Orleans wall-post trace and the Twitter tweet trace, a Dataset
+// container joining a social graph with its activities, the ≥10-activity
+// filtering step the paper applies, per-user interaction indexes used by the
+// MostActive policy, and CSV serialization.
+//
+// The original traces are not redistributable, so package trace also contains
+// synthetic generators (synth.go) calibrated to the statistics the paper
+// reports; DESIGN.md §4 documents the substitution.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dosn/internal/socialgraph"
+)
+
+// Epoch is the reference start instant for synthetic traces. It matches the
+// first day of the paper's Twitter trace (10-Sep-2009).
+var Epoch = time.Date(2009, time.September, 10, 0, 0, 0, 0, time.UTC)
+
+// Activity is one interaction record: a wall post (Facebook) or a tweet
+// mentioning another user (Twitter). Creator performed the action; Receiver
+// owns the profile the activity lands on.
+type Activity struct {
+	Creator  socialgraph.UserID `json:"creator"`
+	Receiver socialgraph.UserID `json:"receiver"`
+	At       time.Time          `json:"at"`
+}
+
+// MinuteOfDay returns the activity's minute within the 24-hour day in UTC,
+// in [0, 1440).
+func (a Activity) MinuteOfDay() int { return MinuteOfDay(a.At) }
+
+// MinuteOfDay returns t's minute within the UTC day, in [0, 1440).
+func MinuteOfDay(t time.Time) int {
+	utc := t.UTC()
+	return utc.Hour()*60 + utc.Minute()
+}
+
+// Dataset joins a social graph with its activity trace. Build one with the
+// synthesizers, Read, or construct directly and call Reindex.
+type Dataset struct {
+	// Name labels the dataset (e.g. "facebook", "twitter").
+	Name string
+	// Graph is the social graph; Neighbors(u) is u's replica-candidate set.
+	Graph *socialgraph.Graph
+	// Activities is the full trace in timestamp order.
+	Activities []Activity
+
+	byCreator  [][]int32 // indices into Activities, per creator
+	byReceiver [][]int32 // indices into Activities, per receiver
+}
+
+// Reindex (re)builds the per-user activity indexes and sorts activities by
+// timestamp. It must be called after constructing or mutating a Dataset by
+// hand; the synthesizers and Read do it automatically.
+func (d *Dataset) Reindex() {
+	sort.SliceStable(d.Activities, func(i, j int) bool {
+		return d.Activities[i].At.Before(d.Activities[j].At)
+	})
+	n := d.Graph.NumUsers()
+	d.byCreator = make([][]int32, n)
+	d.byReceiver = make([][]int32, n)
+	for i, a := range d.Activities {
+		if int(a.Creator) < n && a.Creator >= 0 {
+			d.byCreator[a.Creator] = append(d.byCreator[a.Creator], int32(i))
+		}
+		if int(a.Receiver) < n && a.Receiver >= 0 {
+			d.byReceiver[a.Receiver] = append(d.byReceiver[a.Receiver], int32(i))
+		}
+	}
+}
+
+// NumUsers returns the number of users in the dataset's graph.
+func (d *Dataset) NumUsers() int { return d.Graph.NumUsers() }
+
+// CreatedBy returns the activities user u created, in timestamp order.
+func (d *Dataset) CreatedBy(u socialgraph.UserID) []Activity {
+	return d.gather(d.byCreator, u)
+}
+
+// ReceivedBy returns the activities on user u's profile, in timestamp order.
+func (d *Dataset) ReceivedBy(u socialgraph.UserID) []Activity {
+	return d.gather(d.byReceiver, u)
+}
+
+func (d *Dataset) gather(idx [][]int32, u socialgraph.UserID) []Activity {
+	if idx == nil || u < 0 || int(u) >= len(idx) {
+		return nil
+	}
+	out := make([]Activity, len(idx[u]))
+	for i, k := range idx[u] {
+		out[i] = d.Activities[k]
+	}
+	return out
+}
+
+// CreatedCount returns how many activities u created (no allocation).
+func (d *Dataset) CreatedCount(u socialgraph.UserID) int {
+	if d.byCreator == nil || u < 0 || int(u) >= len(d.byCreator) {
+		return 0
+	}
+	return len(d.byCreator[u])
+}
+
+// InteractionCounts returns, for each friend/follower f of u, the number of
+// activities f created on u's profile — the ranking signal for the
+// MostActive replica-selection policy (paper §III-B).
+func (d *Dataset) InteractionCounts(u socialgraph.UserID) map[socialgraph.UserID]int {
+	counts := make(map[socialgraph.UserID]int)
+	if d.byReceiver == nil || u < 0 || int(u) >= len(d.byReceiver) {
+		return counts
+	}
+	neighbors := d.Graph.Neighbors(u)
+	isNeighbor := make(map[socialgraph.UserID]bool, len(neighbors))
+	for _, f := range neighbors {
+		isNeighbor[f] = true
+	}
+	for _, k := range d.byReceiver[u] {
+		c := d.Activities[k].Creator
+		if isNeighbor[c] {
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// ReceivedByBetween returns the activities on u's profile with timestamps in
+// [from, to), in timestamp order.
+func (d *Dataset) ReceivedByBetween(u socialgraph.UserID, from, to time.Time) []Activity {
+	var out []Activity
+	for _, a := range d.ReceivedBy(u) {
+		if !a.At.Before(from) && a.At.Before(to) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// InteractionCountsBetween is InteractionCounts restricted to activities
+// with timestamps in [from, to) — the "pre-defined time frame in the past"
+// the MostActive policy ranks on (§III-B).
+func (d *Dataset) InteractionCountsBetween(u socialgraph.UserID, from, to time.Time) map[socialgraph.UserID]int {
+	counts := make(map[socialgraph.UserID]int)
+	neighbors := d.Graph.Neighbors(u)
+	isNeighbor := make(map[socialgraph.UserID]bool, len(neighbors))
+	for _, f := range neighbors {
+		isNeighbor[f] = true
+	}
+	for _, a := range d.ReceivedBy(u) {
+		if a.At.Before(from) || !a.At.Before(to) {
+			continue
+		}
+		if isNeighbor[a.Creator] {
+			counts[a.Creator]++
+		}
+	}
+	return counts
+}
+
+// TimeBounds returns the first and one-past-last activity instants. ok is
+// false for an empty trace.
+func (d *Dataset) TimeBounds() (from, to time.Time, ok bool) {
+	if len(d.Activities) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	first := d.Activities[0].At
+	last := d.Activities[len(d.Activities)-1].At
+	return first, last.Add(time.Second), true
+}
+
+// FilterMinActivity returns a new dataset keeping only users that created at
+// least min activities (the paper keeps users with ≥10 wall posts/tweets),
+// with the graph reduced to the induced subgraph on kept users, user IDs
+// remapped densely, and activities between dropped users removed.
+func (d *Dataset) FilterMinActivity(min int) *Dataset {
+	var kept []socialgraph.UserID
+	for u := 0; u < d.NumUsers(); u++ {
+		if d.CreatedCount(socialgraph.UserID(u)) >= min {
+			kept = append(kept, socialgraph.UserID(u))
+		}
+	}
+	sub, orig := d.Graph.InducedSubgraph(kept)
+	remap := make(map[socialgraph.UserID]socialgraph.UserID, len(orig))
+	for newID, oldID := range orig {
+		remap[oldID] = socialgraph.UserID(newID)
+	}
+	out := &Dataset{Name: d.Name, Graph: sub}
+	for _, a := range d.Activities {
+		nc, okC := remap[a.Creator]
+		nr, okR := remap[a.Receiver]
+		if okC && okR {
+			out.Activities = append(out.Activities, Activity{Creator: nc, Receiver: nr, At: a.At})
+		}
+	}
+	out.Reindex()
+	return out
+}
+
+// Stats summarizes a dataset the way the paper reports its traces.
+type Stats struct {
+	Users             int
+	Edges             int
+	AverageDegree     float64
+	Activities        int
+	ActivitiesPerUser float64
+	Span              time.Duration
+}
+
+// Stats computes summary statistics for the dataset.
+func (d *Dataset) Stats() Stats {
+	s := Stats{
+		Users:         d.NumUsers(),
+		Edges:         d.Graph.NumEdges(),
+		AverageDegree: d.Graph.AverageDegree(),
+		Activities:    len(d.Activities),
+	}
+	if s.Users > 0 {
+		s.ActivitiesPerUser = float64(s.Activities) / float64(s.Users)
+	}
+	if len(d.Activities) > 1 {
+		s.Span = d.Activities[len(d.Activities)-1].At.Sub(d.Activities[0].At)
+	}
+	return s
+}
+
+// String renders the stats as a single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("users=%d edges=%d avgDegree=%.1f activities=%d perUser=%.1f span=%s",
+		s.Users, s.Edges, s.AverageDegree, s.Activities, s.ActivitiesPerUser, s.Span)
+}
+
+// ErrBadTraceFormat is returned by ReadActivities for malformed input.
+var ErrBadTraceFormat = errors.New("trace: malformed activity file")
+
+// WriteActivities writes the trace as "creator,receiver,unixSeconds" CSV.
+func WriteActivities(w io.Writer, activities []Activity) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dosn-activities %d\n", len(activities)); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for _, a := range activities {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", a.Creator, a.Receiver, a.At.Unix()); err != nil {
+			return fmt.Errorf("write activity: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadActivities parses a trace written by WriteActivities.
+func ReadActivities(r io.Reader) ([]Activity, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("%w: missing header", ErrBadTraceFormat)
+	}
+	var n int
+	if _, err := fmt.Sscanf(sc.Text(), "# dosn-activities %d", &n); err != nil {
+		return nil, fmt.Errorf("%w: bad header %q", ErrBadTraceFormat, sc.Text())
+	}
+	// The header count is untrusted input: use it only as a bounded
+	// capacity hint so a hostile header cannot force a huge allocation.
+	const maxHint = 1 << 20
+	if n < 0 || n > maxHint {
+		n = maxHint
+	}
+	out := make([]Activity, 0, n)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, ",", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTraceFormat, line, text)
+		}
+		c, err1 := strconv.Atoi(parts[0])
+		rcv, err2 := strconv.Atoi(parts[1])
+		ts, err3 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTraceFormat, line, text)
+		}
+		out = append(out, Activity{
+			Creator:  socialgraph.UserID(c),
+			Receiver: socialgraph.UserID(rcv),
+			At:       time.Unix(ts, 0).UTC(),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read activities: %w", err)
+	}
+	return out, nil
+}
+
+// Write serializes the dataset (graph then activities) to the two writers.
+func (d *Dataset) Write(graphW, actW io.Writer) error {
+	if err := d.Graph.WriteEdges(graphW); err != nil {
+		return fmt.Errorf("dataset %q graph: %w", d.Name, err)
+	}
+	if err := WriteActivities(actW, d.Activities); err != nil {
+		return fmt.Errorf("dataset %q activities: %w", d.Name, err)
+	}
+	return nil
+}
+
+// Read deserializes a dataset written by Write and reindexes it.
+func Read(name string, graphR, actR io.Reader) (*Dataset, error) {
+	g, err := socialgraph.ReadEdges(graphR)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q graph: %w", name, err)
+	}
+	acts, err := ReadActivities(actR)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q activities: %w", name, err)
+	}
+	d := &Dataset{Name: name, Graph: g, Activities: acts}
+	d.Reindex()
+	return d, nil
+}

@@ -1,0 +1,128 @@
+// Package vclock implements version vectors, the causality and anti-entropy
+// substrate of the OSN protocol runtime: every wall's post log is summarized
+// by a vector of per-author sequence numbers, and replicas exchange exactly
+// the events one digest dominates over the other.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies an event author. It matches socialgraph.UserID.
+type NodeID = int32
+
+// Ordering is the result of comparing two version vectors.
+type Ordering int
+
+const (
+	// Equal means both vectors describe the same set of events.
+	Equal Ordering = iota + 1
+	// Before means the receiver is strictly dominated by the argument.
+	Before
+	// After means the receiver strictly dominates the argument.
+	After
+	// Concurrent means each side has events the other lacks.
+	Concurrent
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Clock is a version vector: per-node counters of observed events. The zero
+// value (nil) is a valid empty clock for reads; use New or Copy before
+// mutating.
+type Clock map[NodeID]uint64
+
+// New returns an empty clock.
+func New() Clock { return make(Clock) }
+
+// Get returns the counter for node (0 when absent).
+func (c Clock) Get(node NodeID) uint64 { return c[node] }
+
+// Tick increments node's counter and returns the new value.
+func (c Clock) Tick(node NodeID) uint64 {
+	c[node]++
+	return c[node]
+}
+
+// Observe raises node's counter to at least seq.
+func (c Clock) Observe(node NodeID, seq uint64) {
+	if c[node] < seq {
+		c[node] = seq
+	}
+}
+
+// Copy returns an independent copy of the clock.
+func (c Clock) Copy() Clock {
+	out := make(Clock, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge raises every counter to the pointwise maximum with o.
+func (c Clock) Merge(o Clock) {
+	for k, v := range o {
+		if c[k] < v {
+			c[k] = v
+		}
+	}
+}
+
+// Dominates reports whether c >= o pointwise.
+func (c Clock) Dominates(o Clock) bool {
+	for k, v := range o {
+		if c[k] < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare returns the causal ordering between c and o.
+func (c Clock) Compare(o Clock) Ordering {
+	cDom := c.Dominates(o)
+	oDom := o.Dominates(c)
+	switch {
+	case cDom && oDom:
+		return Equal
+	case cDom:
+		return After
+	case oDom:
+		return Before
+	default:
+		return Concurrent
+	}
+}
+
+// String renders the clock deterministically, e.g. "{1:3 2:1}".
+func (c Clock) String() string {
+	if len(c) == 0 {
+		return "{}"
+	}
+	keys := make([]NodeID, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d:%d", k, c[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,159 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickObserveGet(t *testing.T) {
+	c := New()
+	if c.Get(1) != 0 {
+		t.Error("fresh clock should read 0")
+	}
+	if c.Tick(1) != 1 || c.Tick(1) != 2 {
+		t.Error("Tick should return successive counters")
+	}
+	c.Observe(2, 5)
+	if c.Get(2) != 5 {
+		t.Error("Observe should raise the counter")
+	}
+	c.Observe(2, 3)
+	if c.Get(2) != 5 {
+		t.Error("Observe must not lower the counter")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mk := func(pairs ...uint64) Clock {
+		c := New()
+		for i := 0; i+1 < len(pairs); i += 2 {
+			c[NodeID(pairs[i])] = pairs[i+1]
+		}
+		return c
+	}
+	tests := []struct {
+		name string
+		a, b Clock
+		want Ordering
+	}{
+		{name: "both empty", a: mk(), b: mk(), want: Equal},
+		{name: "equal", a: mk(1, 2), b: mk(1, 2), want: Equal},
+		{name: "after", a: mk(1, 3), b: mk(1, 2), want: After},
+		{name: "before", a: mk(1, 1), b: mk(1, 2), want: Before},
+		{name: "concurrent", a: mk(1, 1), b: mk(2, 1), want: Concurrent},
+		{name: "superset", a: mk(1, 1, 2, 1), b: mk(1, 1), want: After},
+		{name: "zero-valued entries ignored", a: mk(1, 0), b: mk(), want: Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMergeAndCopy(t *testing.T) {
+	a := Clock{1: 2, 2: 5}
+	b := Clock{1: 4, 3: 1}
+	cp := a.Copy()
+	a.Merge(b)
+	want := Clock{1: 4, 2: 5, 3: 1}
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("Merge = %v, want %v", a, want)
+	}
+	if !reflect.DeepEqual(cp, Clock{1: 2, 2: 5}) {
+		t.Errorf("Copy must be independent, got %v", cp)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Clock{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := (Clock{2: 1, 1: 3}).String(); got != "{1:3 2:1}" {
+		t.Errorf("String = %q, want sorted rendering", got)
+	}
+	for _, o := range []Ordering{Equal, Before, After, Concurrent} {
+		if o.String() == "" {
+			t.Error("ordering should render")
+		}
+	}
+}
+
+func genClock(r *rand.Rand) Clock {
+	c := New()
+	for i := 0; i < r.Intn(5); i++ {
+		c[NodeID(r.Intn(4))] = uint64(r.Intn(5))
+	}
+	return c
+}
+
+func TestQuickMergeLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genClock(r), genClock(r)
+
+		// Commutative.
+		ab := a.Copy()
+		ab.Merge(b)
+		ba := b.Copy()
+		ba.Merge(a)
+		if ab.Compare(ba) != Equal {
+			return false
+		}
+		// Idempotent.
+		aa := a.Copy()
+		aa.Merge(a)
+		if aa.Compare(a) != Equal {
+			return false
+		}
+		// Monotone: merge result dominates both inputs.
+		return ab.Dominates(a) && ab.Dominates(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genClock(r), genClock(r), genClock(r)
+		left := a.Copy()
+		left.Merge(b)
+		left.Merge(c)
+		bc := b.Copy()
+		bc.Merge(c)
+		right := a.Copy()
+		right.Merge(bc)
+		return left.Compare(right) == Equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genClock(r), genClock(r)
+		x, y := a.Compare(b), b.Compare(a)
+		switch x {
+		case Equal:
+			return y == Equal
+		case After:
+			return y == Before
+		case Before:
+			return y == After
+		case Concurrent:
+			return y == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package wire implements the networked peer protocol of the F2F OSN node:
+// newline-delimited JSON over TCP (stdlib net only). A sync session pulls
+// the posts the client lacks and pushes the posts the server lacks, per
+// wall, using the same version-vector deltas the simulation runtime uses —
+// so the runnable node (cmd/dosn-node) exercises exactly the replication
+// logic the experiments model.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"dosn/internal/store"
+	"dosn/internal/vclock"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// TypeHello opens a session and announces the sender.
+	TypeHello MsgType = "hello"
+	// TypeSync requests a delta for one wall, carrying the client digest.
+	TypeSync MsgType = "sync"
+	// TypeDelta answers a sync with missing posts plus the server digest
+	// and profile fields.
+	TypeDelta MsgType = "delta"
+	// TypePush sends posts (and fields) the receiver lacks.
+	TypePush MsgType = "push"
+	// TypeBye closes the session.
+	TypeBye MsgType = "bye"
+	// TypeError reports a protocol failure.
+	TypeError MsgType = "error"
+)
+
+// DigestEntry is one version-vector component in wire form.
+type DigestEntry struct {
+	Author int32  `json:"author"`
+	Seq    uint64 `json:"seq"`
+}
+
+// Message is the single wire frame; unused fields are omitted.
+type Message struct {
+	Type   MsgType                `json:"type"`
+	From   int32                  `json:"from,omitempty"`
+	Wall   int32                  `json:"wall,omitempty"`
+	Digest []DigestEntry          `json:"digest,omitempty"`
+	Posts  []store.Post           `json:"posts,omitempty"`
+	Fields map[string]store.Field `json:"fields,omitempty"`
+	Msg    string                 `json:"msg,omitempty"`
+}
+
+// EncodeDigest converts a version vector to wire form, deterministically
+// ordered.
+func EncodeDigest(c vclock.Clock) []DigestEntry {
+	out := make([]DigestEntry, 0, len(c))
+	for author, seq := range c {
+		out = append(out, DigestEntry{Author: author, Seq: seq})
+	}
+	// Insertion order of map iteration is random; sort for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Author < out[j-1].Author; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DecodeDigest converts wire form back to a version vector.
+func DecodeDigest(entries []DigestEntry) vclock.Clock {
+	c := vclock.New()
+	for _, e := range entries {
+		c.Observe(e.Author, e.Seq)
+	}
+	return c
+}
+
+// Server answers sync sessions against a local store.
+type Server struct {
+	st *store.Store
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns sync.WaitGroup
+}
+
+// NewServer returns a server for the store.
+func NewServer(st *store.Store) *Server { return &Server{st: st} }
+
+// Listen binds the address ("127.0.0.1:0" for an ephemeral port) and starts
+// accepting sessions in the background.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.conns.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.conns.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.conns.Wait()
+	return err
+}
+
+// serve handles one session.
+func (s *Server) serve(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+
+	var hello Message
+	if err := dec.Decode(&hello); err != nil || hello.Type != TypeHello {
+		_ = enc.Encode(Message{Type: TypeError, Msg: "expected hello"})
+		return
+	}
+	_ = enc.Encode(Message{Type: TypeHello, From: s.st.Node()})
+
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // disconnect
+		}
+		switch m.Type {
+		case TypeBye:
+			return
+		case TypeSync:
+			s.handleSync(enc, m)
+		case TypePush:
+			s.handlePush(m)
+		default:
+			_ = enc.Encode(Message{Type: TypeError, Msg: fmt.Sprintf("unexpected %q", m.Type)})
+			return
+		}
+	}
+}
+
+func (s *Server) handleSync(enc *json.Encoder, m Message) {
+	if !s.st.Hosts(m.Wall) {
+		_ = enc.Encode(Message{Type: TypeError, Wall: m.Wall, Msg: "wall not hosted"})
+		return
+	}
+	clientDigest := DecodeDigest(m.Digest)
+	missing, err := s.st.MissingFrom(m.Wall, clientDigest)
+	if err != nil {
+		_ = enc.Encode(Message{Type: TypeError, Wall: m.Wall, Msg: err.Error()})
+		return
+	}
+	digest, _ := s.st.Digest(m.Wall)
+	fields, _ := s.st.Fields(m.Wall)
+	_ = enc.Encode(Message{
+		Type:   TypeDelta,
+		From:   s.st.Node(),
+		Wall:   m.Wall,
+		Posts:  missing,
+		Digest: EncodeDigest(digest),
+		Fields: fields,
+	})
+}
+
+func (s *Server) handlePush(m Message) {
+	if !s.st.Hosts(m.Wall) {
+		return
+	}
+	for _, p := range m.Posts {
+		_, _ = s.st.Apply(p)
+	}
+	for name, f := range m.Fields {
+		_, _ = s.st.SetField(m.Wall, name, f)
+	}
+}
+
+// SyncStats reports one client session's transfer counts.
+type SyncStats struct {
+	Pulled int // posts applied locally
+	Pushed int // posts sent to the peer
+	Walls  int // walls synced
+}
+
+// ErrRejected is returned when the peer answers with a protocol error.
+var ErrRejected = errors.New("wire: peer rejected session")
+
+// Sync dials addr and synchronizes every wall both sides host: it walks the
+// walls the local store hosts and the peer skips the ones it lacks.
+func Sync(addr string, st *store.Store) (SyncStats, error) {
+	var stats SyncStats
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return stats, fmt.Errorf("wire dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+
+	if err := enc.Encode(Message{Type: TypeHello, From: st.Node()}); err != nil {
+		return stats, fmt.Errorf("wire hello: %w", err)
+	}
+	var hello Message
+	if err := dec.Decode(&hello); err != nil {
+		return stats, fmt.Errorf("wire hello reply: %w", err)
+	}
+	if hello.Type != TypeHello {
+		return stats, fmt.Errorf("%w: %s", ErrRejected, hello.Msg)
+	}
+
+	for _, wall := range st.Walls() {
+		digest, err := st.Digest(wall)
+		if err != nil {
+			continue
+		}
+		fields, _ := st.Fields(wall)
+		if err := enc.Encode(Message{
+			Type:   TypeSync,
+			From:   st.Node(),
+			Wall:   wall,
+			Digest: EncodeDigest(digest),
+		}); err != nil {
+			return stats, fmt.Errorf("wire sync %d: %w", wall, err)
+		}
+		var delta Message
+		if err := dec.Decode(&delta); err != nil {
+			return stats, fmt.Errorf("wire delta %d: %w", wall, err)
+		}
+		if delta.Type == TypeError {
+			continue // peer does not host this wall
+		}
+		if delta.Type != TypeDelta {
+			return stats, fmt.Errorf("%w: unexpected %q", ErrRejected, delta.Type)
+		}
+		for _, p := range delta.Posts {
+			if ok, err := st.Apply(p); err == nil && ok {
+				stats.Pulled++
+			}
+		}
+		for name, f := range delta.Fields {
+			_, _ = st.SetField(wall, name, f)
+		}
+		// Push back what the peer lacks.
+		peerDigest := DecodeDigest(delta.Digest)
+		toPush, err := st.MissingFrom(wall, peerDigest)
+		if err != nil {
+			continue
+		}
+		if err := enc.Encode(Message{
+			Type:   TypePush,
+			From:   st.Node(),
+			Wall:   wall,
+			Posts:  toPush,
+			Fields: fields,
+		}); err != nil {
+			return stats, fmt.Errorf("wire push %d: %w", wall, err)
+		}
+		stats.Pushed += len(toPush)
+		stats.Walls++
+	}
+	_ = enc.Encode(Message{Type: TypeBye, From: st.Node()})
+	// Drain until the peer closes the connection (EOF is the normal session
+	// end) so the final pushes are processed before we tear down.
+	var done Message
+	for dec.Decode(&done) == nil {
+		if done.Type == TypeBye {
+			break
+		}
+	}
+	return stats, nil
+}
