@@ -1,9 +1,9 @@
 // Benchmark harness: one testing.B benchmark per figure of the paper's
-// evaluation section (Figs. 2–11) plus the extension experiments X1–X4 from
-// DESIGN.md. Each benchmark regenerates its figure end to end (placement,
-// metric computation, aggregation over the analysis population) and reports
-// the figure's key values via b.ReportMetric so `go test -bench=. -benchmem`
-// prints the numbers EXPERIMENTS.md records.
+// evaluation section (Figs. 2–11) plus the extension experiments X1–X4 and
+// the matrix-harness benches. Each benchmark regenerates its figure end to
+// end (placement, metric computation, aggregation over the analysis
+// population) and reports the figure's key values via b.ReportMetric so
+// `go test -bench=. -benchmem` prints the reproduced numbers.
 //
 // Benchmarks run at a reduced dataset scale (1200 users, 1 repeat) so the
 // whole harness completes in minutes; cmd/dosn-sim regenerates the same
@@ -11,10 +11,13 @@
 package dosn_test
 
 import (
+	"encoding/json"
+	"os"
 	"sync"
 	"testing"
 
 	"dosn"
+	"dosn/internal/harness"
 )
 
 const (
@@ -329,4 +332,129 @@ func BenchmarkX5ReadAvailability(b *testing.B) {
 	}
 	b.ReportMetric(measured, "measured_aodtime")
 	b.ReportMetric(analytic, "analytic_aodtime")
+}
+
+// --- Matrix harness benchmarks ----------------------------------------------
+//
+// BenchmarkMatrix* exercise internal/harness end to end and append their
+// headline numbers to BENCH_matrix.json, establishing the performance
+// trajectory every future sharding/caching/backend PR is measured against.
+
+// benchMatrixSpec is the bench-scale matrix: both datasets, two contrasting
+// models, both modes (8 cells).
+func benchMatrixSpec() harness.MatrixSpec {
+	return harness.MatrixSpec{
+		Datasets: []harness.DatasetSpec{
+			{Name: "facebook", Users: benchUsers, Seed: 1},
+			{Name: "twitter", Users: benchUsers, Seed: 2},
+		},
+		Models:     []harness.ModelSpec{harness.Sporadic(), harness.FixedLength(8)},
+		Modes:      []string{"ConRep", "UnconRep"},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		RootSeed:   benchSeed,
+	}
+}
+
+var (
+	benchMatrixMu      sync.Mutex
+	benchMatrixRecords = map[string]map[string]float64{}
+)
+
+// recordMatrixBench merges one benchmark's headline metrics into
+// BENCH_matrix.json. Existing entries are loaded first so a partial -bench
+// run updates only the benchmarks it actually ran, preserving the rest of
+// the committed baseline.
+func recordMatrixBench(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	benchMatrixMu.Lock()
+	defer benchMatrixMu.Unlock()
+	if len(benchMatrixRecords) == 0 {
+		if prev, err := os.ReadFile("BENCH_matrix.json"); err == nil {
+			// Best effort: a corrupt file is simply rebuilt from scratch.
+			_ = json.Unmarshal(prev, &benchMatrixRecords)
+		}
+	}
+	benchMatrixRecords[name] = metrics
+	data, err := json.MarshalIndent(benchMatrixRecords, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal BENCH_matrix.json: %v", err)
+	}
+	if err := os.WriteFile("BENCH_matrix.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write BENCH_matrix.json: %v", err)
+	}
+}
+
+// BenchmarkMatrixEightCells runs the 8-cell bench matrix end to end
+// (synthesis cached inside the run, schedules shared across modes).
+func BenchmarkMatrixEightCells(b *testing.B) {
+	spec := benchMatrixSpec()
+	var m *harness.RunManifest
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err = harness.Run(spec, harness.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cell, ok := m.Cell("facebook", "Sporadic", "ConRep")
+	if !ok {
+		b.Fatal("facebook/Sporadic/ConRep missing")
+	}
+	avail5, _ := cell.Value("availability", 0, 5)
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(avail5, "maxav_avail_deg5")
+	b.ReportMetric(nsPerCell, "ns/cell")
+	recordMatrixBench(b, "MatrixEightCells", map[string]float64{
+		"cells":               float64(len(m.Cells)),
+		"ns_per_cell":         nsPerCell,
+		"schedule_cache_hits": float64(m.ScheduleCacheHits),
+		"maxav_avail_deg5":    avail5,
+	})
+}
+
+// BenchmarkMatrixFullPaper runs the complete 24-cell paper matrix
+// ({fb,tw} × 6 models × 2 modes) at bench scale.
+func BenchmarkMatrixFullPaper(b *testing.B) {
+	spec := harness.PaperMatrix(benchUsers)
+	spec.Repeats = benchRepeats
+	var m *harness.RunManifest
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err = harness.Run(spec, harness.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(float64(len(m.Cells)), "cells")
+	b.ReportMetric(nsPerCell, "ns/cell")
+	recordMatrixBench(b, "MatrixFullPaper", map[string]float64{
+		"cells":               float64(len(m.Cells)),
+		"ns_per_cell":         nsPerCell,
+		"schedule_cache_hits": float64(m.ScheduleCacheHits),
+	})
+}
+
+// BenchmarkMatrixSingleCell isolates per-cell cost (no cross-cell sharing).
+func BenchmarkMatrixSingleCell(b *testing.B) {
+	spec := benchMatrixSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = spec.Models[:1]
+	spec.Modes = spec.Modes[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Run(spec, harness.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordMatrixBench(b, "MatrixSingleCell", map[string]float64{
+		"ns_per_cell": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
 }

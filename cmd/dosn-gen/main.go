@@ -46,23 +46,13 @@ func run() error {
 		return err
 	}
 
-	var cfg dosn.SynthConfig
-	switch *dataset {
-	case "facebook":
-		cfg = dosn.FacebookConfig(n)
-	case "twitter":
-		cfg = dosn.TwitterConfig(n)
-	default:
-		return fmt.Errorf("unknown dataset %q (facebook|twitter)", *dataset)
+	minActivity := -1 // no filter
+	if *filter {
+		minActivity = dosn.PaperMinActivity
 	}
-	cfg.Seed = *seed
-
-	ds, err := dosn.Synthesize(cfg)
+	ds, err := dosn.SynthesizeCalibrated(*dataset, n, *seed, minActivity)
 	if err != nil {
 		return err
-	}
-	if *filter {
-		ds = ds.FilterMinActivity(10)
 	}
 
 	if dir := filepath.Dir(*out); dir != "." {

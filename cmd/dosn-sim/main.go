@@ -13,6 +13,15 @@
 //	dosn-sim -experiment history       # A2: MostActive trained on history
 //	dosn-sim -experiment churn         # A3: availability under churn
 //	dosn-sim -scale paper -fig fig3a   # full paper-scale datasets (slower)
+//
+// The matrix subcommand runs the paper's whole experiment matrix — datasets ×
+// online-time models × placement modes — in one deterministic invocation and
+// emits machine-readable results:
+//
+//	dosn-sim matrix                                  # full matrix, JSON to stdout
+//	dosn-sim matrix -json run.json -csv run.csv      # write both artifacts
+//	dosn-sim matrix -datasets facebook -models sporadic,fixed8 -modes conrep
+//	dosn-sim matrix -seed 7 -workers 16              # same seed ⇒ same bytes, any -workers
 package main
 
 import (
@@ -33,6 +42,9 @@ func main() {
 }
 
 func run() error {
+	if len(os.Args) > 1 && os.Args[1] == "matrix" {
+		return runMatrix(os.Args[2:])
+	}
 	var (
 		figID      = flag.String("fig", "", "figure to regenerate (fig2, fig3a, ..., fig11d), 'all', or 'list'")
 		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance")

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"dosn/internal/harness"
+)
 
 func TestScaleUsers(t *testing.T) {
 	tests := []struct {
@@ -23,5 +28,114 @@ func TestScaleUsers(t *testing.T) {
 		if err == nil && (fb != tt.fb || tw != tt.tw) {
 			t.Errorf("scaleUsers(%q) = %d,%d want %d,%d", tt.scale, fb, tw, tt.fb, tt.tw)
 		}
+	}
+}
+
+func TestParseModelFlag(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    harness.ModelSpec
+		wantErr bool
+	}{
+		{in: "sporadic", want: harness.Sporadic()},
+		{in: "Sporadic", want: harness.Sporadic()},
+		{in: "sporadic:600", want: harness.ModelSpec{Kind: "sporadic", SessionSeconds: 600}},
+		{in: "random", want: harness.RandomLength()},
+		{in: "randomlength", want: harness.RandomLength()},
+		{in: "fixed2", want: harness.FixedLength(2)},
+		{in: "fixed:8", want: harness.FixedLength(8)},
+		{in: "fixed", wantErr: true},
+		{in: "fixed0", wantErr: true},
+		{in: "sporadic:x", wantErr: true},
+		{in: "diurnal", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseModelFlag(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseModelFlag(%q) err = %v", tt.in, err)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("parseModelFlag(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestBuildMatrixSpecDefaultsToThePaperMatrix(t *testing.T) {
+	spec, err := buildMatrixSpec("small", "facebook,twitter",
+		"sporadic,random,fixed2,fixed4,fixed6,fixed8", "conrep,unconrep", "",
+		10, 10, 3, 42)
+	if err != nil {
+		t.Fatalf("buildMatrixSpec: %v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("built spec invalid: %v", err)
+	}
+	if got := len(spec.Cells()); got != 24 {
+		t.Errorf("default matrix has %d cells, want 24", got)
+	}
+	if spec.Datasets[0].Users != 2000 || spec.Datasets[1].Users != 2000 {
+		t.Errorf("small scale users = %+v", spec.Datasets)
+	}
+	// The CLI leaves dataset seeds at 0; the harness must resolve them to the
+	// same cell seeds as the canonical paper matrix at the same scale.
+	paper := harness.PaperMatrix(2000)
+	paper.Repeats, paper.RootSeed = spec.Repeats, spec.RootSeed
+	paperSeeds := map[string]int64{}
+	for _, c := range paper.Cells() {
+		paperSeeds[c.Key()] = paper.CellSeed(c)
+	}
+	for _, c := range spec.Cells() {
+		if got, want := spec.CellSeed(c), paperSeeds[c.Key()]; got != want {
+			t.Errorf("cell %s seed %d diverges from PaperMatrix's %d", c.Key(), got, want)
+		}
+	}
+}
+
+func TestBuildMatrixSpecRejectsBadInput(t *testing.T) {
+	cases := []struct{ scale, ds, models, modes string }{
+		{"galactic", "facebook", "sporadic", "conrep"},
+		{"small", "orkut", "sporadic", "conrep"},
+		{"small", "facebook", "diurnal", "conrep"},
+		{"small", "facebook", "sporadic", "semirep"},
+	}
+	for _, c := range cases {
+		if _, err := buildMatrixSpec(c.scale, c.ds, c.models, c.modes, "", 10, 10, 1, 1); err == nil {
+			t.Errorf("buildMatrixSpec(%+v) accepted bad input", c)
+		}
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(" a, b ,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestBuildMatrixSpecRejectsExplicitNonsense(t *testing.T) {
+	cases := []struct {
+		maxDegree, userDegree, repeats int
+		seed                           int64
+	}{
+		{0, 10, 1, 1},
+		{-3, 10, 1, 1},
+		{10, -1, 1, 1},
+		{10, 10, 0, 1},
+		{10, 10, -2, 1},
+		{10, 10, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := buildMatrixSpec("small", "facebook", "sporadic", "conrep", "",
+			c.maxDegree, c.userDegree, c.repeats, c.seed); err == nil {
+			t.Errorf("buildMatrixSpec(maxDegree=%d userDegree=%d repeats=%d seed=%d) accepted",
+				c.maxDegree, c.userDegree, c.repeats, c.seed)
+		}
+	}
+	// user-degree 0 (modal) stays legal.
+	if _, err := buildMatrixSpec("small", "facebook", "sporadic", "conrep", "", 10, 0, 1, 1); err != nil {
+		t.Errorf("user-degree 0 rejected: %v", err)
 	}
 }

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dosn/internal/harness"
+)
+
+// runMatrix implements the `dosn-sim matrix` subcommand: one invocation runs
+// the paper's whole experiment matrix (or any subset of it) deterministically
+// and emits versioned JSON/CSV results.
+func runMatrix(args []string) error {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	var (
+		scale      = fs.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933)")
+		datasets   = fs.String("datasets", "facebook,twitter", "comma-separated datasets (facebook|twitter)")
+		models     = fs.String("models", "sporadic,random,fixed2,fixed4,fixed6,fixed8", "comma-separated models (sporadic[:SECONDS]|random|fixedN)")
+		modes      = fs.String("modes", "conrep,unconrep", "comma-separated modes (conrep|unconrep)")
+		policies   = fs.String("policies", "", "comma-separated policies (MaxAv|MaxAv(activity)|MostActive|Random); default the paper's three")
+		maxDegree  = fs.Int("max-degree", 10, "replication degree sweep bound")
+		userDegree = fs.Int("user-degree", 10, "user degree of the analysis population (0 = modal)")
+		repeats    = fs.Int("repeats", 3, "randomized-run repetitions (paper uses 5)")
+		rootSeed   = fs.Int64("seed", 42, "root seed; cell seeds derive from it and the cell coordinates")
+		workers    = fs.Int("workers", 0, "concurrent cells (0 = NumCPU); never affects results")
+		jsonOut    = fs.String("json", "", "write the run manifest as JSON to this file ('-' = stdout)")
+		csvOut     = fs.String("csv", "", "write per-(cell,policy,degree) rows as CSV to this file ('-' = stdout)")
+		quiet      = fs.Bool("q", false, "suppress per-cell progress on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: dosn-sim matrix [flags]")
+		fmt.Fprintln(fs.Output(), "runs the full dataset × model × mode experiment matrix in one invocation")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h: usage already printed, exit clean
+		}
+		return err
+	}
+
+	spec, err := buildMatrixSpec(*scale, *datasets, *models, *modes, *policies, *maxDegree, *userDegree, *repeats, *rootSeed)
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	cells := spec.Cells()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "matrix: %d cells (%d datasets × %d models × %d modes), repeats=%d, seed=%d\n",
+			len(cells), len(spec.Datasets), len(spec.Models), len(spec.Modes), spec.Repeats, spec.RootSeed)
+	}
+	start := time.Now()
+	opts := harness.RunOptions{Workers: *workers}
+	if !*quiet {
+		opts.Progress = func(done, total int, cell harness.CellSpec, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-42s %8v\n", digits(total), done, total, cell.Key(), elapsed.Round(time.Millisecond))
+		}
+	}
+	manifest, err := harness.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "matrix: done in %v (%d schedule computations reused)\n",
+			time.Since(start).Round(time.Millisecond), manifest.ScheduleCacheHits)
+	}
+
+	if *jsonOut == "" && *csvOut == "" {
+		*jsonOut = "-" // no sink requested: print JSON so the run is never silent
+	}
+	if *jsonOut != "" {
+		if err := writeSink(*jsonOut, manifest.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *csvOut != "" {
+		if err := writeSink(*csvOut, manifest.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildMatrixSpec assembles a harness.MatrixSpec from the flag values. The
+// library's MatrixSpec fills zero values with defaults; at the CLI boundary
+// explicit nonsense is rejected instead of silently rewritten.
+func buildMatrixSpec(scale, datasets, models, modes, policies string, maxDegree, userDegree, repeats int, rootSeed int64) (harness.MatrixSpec, error) {
+	fbUsers, twUsers, err := scaleUsers(scale)
+	if err != nil {
+		return harness.MatrixSpec{}, err
+	}
+	switch {
+	case maxDegree <= 0:
+		return harness.MatrixSpec{}, fmt.Errorf("-max-degree must be > 0, got %d", maxDegree)
+	case userDegree < 0:
+		return harness.MatrixSpec{}, fmt.Errorf("-user-degree must be >= 0 (0 = modal degree), got %d", userDegree)
+	case repeats <= 0:
+		return harness.MatrixSpec{}, fmt.Errorf("-repeats must be > 0, got %d", repeats)
+	case rootSeed == 0:
+		return harness.MatrixSpec{}, fmt.Errorf("-seed must be nonzero (0 would select the library default of 42)")
+	}
+	spec := harness.MatrixSpec{
+		Version:    harness.SpecVersion,
+		MaxDegree:  maxDegree,
+		UserDegree: userDegree,
+		Repeats:    repeats,
+		RootSeed:   rootSeed,
+	}
+	for _, name := range splitList(datasets) {
+		// Seed stays 0: the harness resolves it to the canonical calibration
+		// seed, so the CLI never duplicates that constant.
+		switch name {
+		case "facebook":
+			spec.Datasets = append(spec.Datasets, harness.DatasetSpec{Name: "facebook", Users: fbUsers})
+		case "twitter":
+			spec.Datasets = append(spec.Datasets, harness.DatasetSpec{Name: "twitter", Users: twUsers})
+		default:
+			return spec, fmt.Errorf("unknown dataset %q (facebook|twitter)", name)
+		}
+	}
+	for _, name := range splitList(models) {
+		m, err := parseModelFlag(name)
+		if err != nil {
+			return spec, err
+		}
+		spec.Models = append(spec.Models, m)
+	}
+	for _, name := range splitList(modes) {
+		switch strings.ToLower(name) {
+		case "conrep":
+			spec.Modes = append(spec.Modes, "ConRep")
+		case "unconrep":
+			spec.Modes = append(spec.Modes, "UnconRep")
+		default:
+			return spec, fmt.Errorf("unknown mode %q (conrep|unconrep)", name)
+		}
+	}
+	spec.Policies = splitList(policies)
+	return spec, nil
+}
+
+// parseModelFlag parses one -models entry: "sporadic", "sporadic:600"
+// (session seconds), "random", or "fixedN" / "fixed:N" (hours).
+func parseModelFlag(name string) (harness.ModelSpec, error) {
+	lower := strings.ToLower(name)
+	switch {
+	case lower == "sporadic":
+		return harness.Sporadic(), nil
+	case strings.HasPrefix(lower, "sporadic:"):
+		sec, err := strconv.Atoi(lower[len("sporadic:"):])
+		if err != nil || sec <= 0 {
+			return harness.ModelSpec{}, fmt.Errorf("bad sporadic session %q (want sporadic:SECONDS)", name)
+		}
+		return harness.ModelSpec{Kind: "sporadic", SessionSeconds: sec}, nil
+	case lower == "random" || lower == "randomlength":
+		return harness.RandomLength(), nil
+	case strings.HasPrefix(lower, "fixed"):
+		rest := strings.TrimPrefix(strings.TrimPrefix(lower, "fixed"), ":")
+		hours, err := strconv.Atoi(rest)
+		if err != nil || hours <= 0 {
+			return harness.ModelSpec{}, fmt.Errorf("bad fixed-length model %q (want fixedN, e.g. fixed4)", name)
+		}
+		return harness.FixedLength(hours), nil
+	default:
+		return harness.ModelSpec{}, fmt.Errorf("unknown model %q (sporadic[:SECONDS]|random|fixedN)", name)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// writeSink writes via fn to path, with "-" meaning stdout.
+func writeSink(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}

@@ -25,15 +25,20 @@
 //
 // The original Facebook/Twitter traces are not redistributable; the
 // Facebook/Twitter constructors synthesize datasets calibrated to the
-// statistics the paper reports (see DESIGN.md §4).
+// statistics the paper reports — degree distribution, per-user activity
+// volume, diurnal clustering and interaction skew (see trace.SynthConfig for
+// the knobs and the calibration rationale).
+//
+// RunMatrix executes the paper's whole experiment matrix (datasets × models ×
+// modes) deterministically in one call; see MatrixSpec and PaperMatrix.
 package dosn
 
 import (
-	"fmt"
 	"io"
 	"time"
 
 	"dosn/internal/core"
+	"dosn/internal/harness"
 	"dosn/internal/onlinetime"
 	"dosn/internal/plot"
 	"dosn/internal/replica"
@@ -77,6 +82,20 @@ type (
 	HistorySplitResult = core.HistorySplitResult
 	// ChurnRow reports availability degradation under replica failures.
 	ChurnRow = core.ChurnRow
+	// MatrixSpec declares a whole experiment matrix (datasets × models ×
+	// modes) for one deterministic harness run.
+	MatrixSpec = harness.MatrixSpec
+	// MatrixDataset declares one dataset of a matrix.
+	MatrixDataset = harness.DatasetSpec
+	// MatrixModel declares one online-time model of a matrix.
+	MatrixModel = harness.ModelSpec
+	// MatrixOptions tunes matrix execution (worker counts, progress); it
+	// never affects the results.
+	MatrixOptions = harness.RunOptions
+	// RunManifest is the versioned JSON/CSV result artifact of a matrix run.
+	RunManifest = harness.RunManifest
+	// MatrixCellResult is one cell's machine-readable sweep outcome.
+	MatrixCellResult = harness.CellResult
 )
 
 // Placement modes.
@@ -129,10 +148,12 @@ var (
 // DefaultPolicies returns MaxAv, MostActive and Random in plot order.
 func DefaultPolicies() []Policy { return replica.DefaultPolicies() }
 
-// PaperScale constants: the filtered trace sizes the paper reports.
+// PaperScale constants: the filtered trace sizes the paper reports, and the
+// activity-count filter it applies before analysis.
 const (
 	PaperFacebookUsers = trace.PaperFacebookUsers
 	PaperTwitterUsers  = trace.PaperTwitterUsers
+	PaperMinActivity   = trace.PaperMinActivity
 )
 
 // Facebook synthesizes a Facebook-like dataset (New Orleans wall-post trace
@@ -140,22 +161,26 @@ const (
 // user) with the given user count and seed, filtered to users with at least
 // 10 activities exactly as the paper does.
 func Facebook(users int, seed int64) (*Dataset, error) {
-	cfg := trace.DefaultFacebookConfig(users)
-	cfg.Seed = seed
-	return synthesizeFiltered(cfg)
+	return trace.SynthesizeCalibrated("facebook", users, seed, trace.PaperMinActivity)
 }
 
 // Twitter synthesizes a Twitter-like dataset (directed follower graph,
 // average follower count ≈76, tweets mentioning followees) with the given
 // user count and seed, filtered like the paper's trace.
 func Twitter(users int, seed int64) (*Dataset, error) {
-	cfg := trace.DefaultTwitterConfig(users)
-	cfg.Seed = seed
-	return synthesizeFiltered(cfg)
+	return trace.SynthesizeCalibrated("twitter", users, seed, trace.PaperMinActivity)
 }
 
 // Synthesize generates a dataset from a custom configuration (no filtering).
 func Synthesize(cfg SynthConfig) (*Dataset, error) { return trace.Synthesize(cfg) }
+
+// SynthesizeCalibrated builds the named calibrated dataset ("facebook" or
+// "twitter") through the single shared construction path. The seed is used
+// literally; minActivity 0 means PaperMinActivity, negative disables
+// filtering.
+func SynthesizeCalibrated(name string, users int, seed int64, minActivity int) (*Dataset, error) {
+	return trace.SynthesizeCalibrated(name, users, seed, minActivity)
+}
 
 // FacebookConfig returns the default Facebook-like generator configuration
 // for customization before calling Synthesize.
@@ -163,14 +188,6 @@ func FacebookConfig(users int) SynthConfig { return trace.DefaultFacebookConfig(
 
 // TwitterConfig returns the default Twitter-like generator configuration.
 func TwitterConfig(users int) SynthConfig { return trace.DefaultTwitterConfig(users) }
-
-func synthesizeFiltered(cfg SynthConfig) (*Dataset, error) {
-	d, err := trace.Synthesize(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("dosn: synthesize %s: %w", cfg.Name, err)
-	}
-	return d.FilterMinActivity(10), nil
-}
 
 // NewSuite synthesizes both datasets and returns a figure suite that can
 // regenerate every figure of the paper. users sets the per-dataset scale
@@ -191,6 +208,18 @@ func NewSuite(fbUsers, twUsers int, opts Options) (*Suite, error) {
 // RunSweep executes a replication-degree sweep (the core experiment behind
 // figures 3–7 and 10–11).
 func RunSweep(cfg SweepConfig) (*SweepResult, error) { return core.Run(cfg) }
+
+// PaperMatrix returns the paper's full evaluation matrix — {Facebook,
+// Twitter} × {Sporadic, RandomLength, FixedLength 2/4/6/8 h} × {ConRep,
+// UnconRep} — at the given per-dataset user scale.
+func PaperMatrix(users int) MatrixSpec { return harness.PaperMatrix(users) }
+
+// RunMatrix executes every cell of the matrix concurrently and returns the
+// assembled manifest. Results are byte-identical for the same spec and root
+// seed regardless of worker count or execution order.
+func RunMatrix(spec MatrixSpec, opts MatrixOptions) (*RunManifest, error) {
+	return harness.Run(spec, opts)
+}
 
 // RunProtocolValidation executes the discrete-event OSN runtime on a
 // policy-placed sample of walls and compares measured delivery delays with

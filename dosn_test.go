@@ -138,3 +138,28 @@ func TestLoadBalanceThroughFacade(t *testing.T) {
 		t.Errorf("rows = %v", rows)
 	}
 }
+
+func TestMatrixThroughFacade(t *testing.T) {
+	spec := MatrixSpec{
+		Datasets:   []MatrixDataset{{Name: "facebook", Users: 300, Seed: 1}},
+		Models:     []MatrixModel{{Kind: "sporadic"}},
+		Modes:      []string{"ConRep"},
+		MaxDegree:  3,
+		UserDegree: 0,
+		Repeats:    1,
+		RootSeed:   7,
+	}
+	m, err := RunMatrix(spec, MatrixOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	if len(m.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(m.Cells))
+	}
+	if _, ok := m.Cell("facebook", "Sporadic", "ConRep"); !ok {
+		t.Error("cell lookup failed")
+	}
+	if full := PaperMatrix(2000); len(full.Cells()) != 24 {
+		t.Errorf("PaperMatrix enumerates %d cells, want 24", len(full.Cells()))
+	}
+}

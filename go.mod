@@ -1,0 +1,3 @@
+module dosn
+
+go 1.24

@@ -1,0 +1,388 @@
+// Golden regression suite: every reproduced figure of the paper (Fig. 2–11)
+// plus the extension/ablation experiments is replayed at small scale and
+// compared, series by series, against a committed snapshot under
+// testdata/golden/. The snapshots pin the *science*: any refactor, scaling or
+// caching PR that silently changes a reproduced number fails here.
+//
+// Regenerate snapshots after an intentional change with:
+//
+//	go test -run TestGolden -update ./...
+//
+// and review the diff like any other code change.
+package dosn_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dosn"
+	"dosn/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden snapshots")
+
+const goldenDir = "testdata/golden"
+
+// tolerance bounds the acceptable per-value drift when comparing against a
+// snapshot: |got-want| <= Abs + Rel*|want|.
+type tolerance struct {
+	Abs float64
+	Rel float64
+}
+
+func (tol tolerance) close(got, want float64) bool {
+	return math.Abs(got-want) <= tol.Abs+tol.Rel*math.Abs(want)
+}
+
+// Per-metric tolerances. Everything is deterministic on one platform; the
+// slack only absorbs math-library differences across architectures and Go
+// releases, scaled to each metric's magnitude.
+var (
+	tolFraction = tolerance{Abs: 1e-9, Rel: 1e-9} // availability & AoD fractions in [0,1]
+	tolHours    = tolerance{Abs: 1e-7, Rel: 1e-7} // delays, tens of hours
+	tolCount    = tolerance{Abs: 0, Rel: 0}       // integer-valued series (histograms)
+	tolLoad     = tolerance{Abs: 1e-7, Rel: 1e-7} // load-balance statistics
+)
+
+var (
+	goldenOnce  sync.Once
+	goldenState struct {
+		suite *dosn.Suite
+		err   error
+	}
+)
+
+// goldenSuite builds the small-scale dataset pair shared by every golden
+// entry: degree distributions tuned so the degree-10 analysis population is
+// well populated at 500 users.
+func goldenSuite(t *testing.T) *dosn.Suite {
+	t.Helper()
+	goldenOnce.Do(func() {
+		fbCfg := dosn.FacebookConfig(500)
+		fbCfg.MeanDegree, fbCfg.SigmaDegree, fbCfg.Seed = 12, 0.6, 33
+		fb, err := dosn.Synthesize(fbCfg)
+		if err != nil {
+			goldenState.err = fmt.Errorf("facebook: %w", err)
+			return
+		}
+		twCfg := dosn.TwitterConfig(500)
+		twCfg.MeanDegree, twCfg.SigmaDegree, twCfg.Seed = 14, 0.7, 34
+		tw, err := dosn.Synthesize(twCfg)
+		if err != nil {
+			goldenState.err = fmt.Errorf("twitter: %w", err)
+			return
+		}
+		goldenState.suite = &dosn.Suite{
+			Facebook: fb,
+			Twitter:  tw,
+			Opts:     dosn.Options{MaxDegree: 6, UserDegree: 10, Repeats: 2, Seed: 42},
+		}
+	})
+	if goldenState.err != nil {
+		t.Fatalf("build golden suite: %v", goldenState.err)
+	}
+	return goldenState.suite
+}
+
+// goldenEntry is one snapshotted figure or experiment.
+type goldenEntry struct {
+	id  string
+	tol tolerance
+	gen func(t *testing.T) dosn.Figure
+}
+
+// figEntry snapshots one paper figure regenerated through the suite.
+func figEntry(id string, tol tolerance) goldenEntry {
+	return goldenEntry{id: id, tol: tol, gen: func(t *testing.T) dosn.Figure {
+		fig, err := goldenSuite(t).Figure(id)
+		if err != nil {
+			t.Fatalf("figure %s: %v", id, err)
+		}
+		return fig
+	}}
+}
+
+func goldenEntries() []goldenEntry {
+	entries := []goldenEntry{figEntry("fig2", tolCount)}
+	for _, id := range []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig4a", "fig4b"} {
+		entries = append(entries, figEntry(id, tolFraction))
+	}
+	for _, id := range []string{"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig6c", "fig6d"} {
+		entries = append(entries, figEntry(id, tolFraction))
+	}
+	for _, id := range []string{"fig7a", "fig7b", "fig7c", "fig7d"} {
+		entries = append(entries, figEntry(id, tolHours))
+	}
+	for _, id := range []string{"fig8a", "fig8b", "fig8c"} {
+		entries = append(entries, figEntry(id, tolFraction))
+	}
+	entries = append(entries, figEntry("fig8d", tolHours))
+	entries = append(entries, figEntry("fig9a", tolFraction), figEntry("fig9b", tolHours))
+	for _, id := range []string{"fig10a", "fig10b", "fig10c", "fig10d", "fig11a", "fig11b", "fig11c", "fig11d"} {
+		entries = append(entries, figEntry(id, tolFraction))
+	}
+	entries = append(entries,
+		goldenEntry{id: "ablation-objective-aodact", tol: tolFraction, gen: objectiveAblationFigure(dosn.MetricAoDActivity)},
+		goldenEntry{id: "ablation-objective-avail", tol: tolFraction, gen: objectiveAblationFigure(dosn.MetricAvailability)},
+		goldenEntry{id: "ablation-history", tol: tolFraction, gen: historyFigure},
+		goldenEntry{id: "ablation-churn", tol: tolFraction, gen: churnFigure},
+		goldenEntry{id: "experiment-loadbalance", tol: tolLoad, gen: loadBalanceFigure},
+		goldenEntry{id: "matrix-facebook-sporadic-conrep", tol: tolFraction, gen: matrixCellFigure("facebook", "Sporadic", "ConRep", "availability")},
+		goldenEntry{id: "matrix-facebook-fixed2-unconrep", tol: tolFraction, gen: matrixCellFigure("facebook", "FixedLength(2h)", "UnconRep", "availability")},
+		goldenEntry{id: "matrix-twitter-sporadic-conrep-delay", tol: tolHours, gen: matrixCellFigure("twitter", "Sporadic", "ConRep", "delay_hours")},
+	)
+	return entries
+}
+
+// objectiveAblationFigure snapshots ablation A1 as one series per policy.
+func objectiveAblationFigure(metric dosn.Metric) func(t *testing.T) dosn.Figure {
+	return func(t *testing.T) dosn.Figure {
+		s := goldenSuite(t)
+		res, err := dosn.ObjectiveAblation(s.Facebook, dosn.NewSporadic(0), dosn.Options{
+			MaxDegree: 5, UserDegree: 10, Repeats: 2, Seed: 42,
+		})
+		if err != nil {
+			t.Fatalf("objective ablation: %v", err)
+		}
+		return dosn.Figure{
+			ID:     "ablation-objective",
+			Title:  "A1: MaxAv objective ablation",
+			XLabel: "replication degree",
+			YLabel: metric.String(),
+			Series: res.MetricSeries(metric),
+		}
+	}
+}
+
+func historyFigure(t *testing.T) dosn.Figure {
+	s := goldenSuite(t)
+	res, err := dosn.HistorySplit(s.Facebook, dosn.NewSporadic(0), 3, 0.5, 42)
+	if err != nil {
+		t.Fatalf("history split: %v", err)
+	}
+	return dosn.Figure{
+		ID:     "ablation-history",
+		Title:  "A2: MostActive trained on history (budget 3, 50/50 split)",
+		XLabel: "ranking (0=historical, 1=oracle, 2=random)",
+		YLabel: "availability-on-demand-activity",
+		Series: []dosn.Series{{
+			Label: "AoD-activity",
+			X:     []float64{0, 1, 2},
+			Y:     []float64{res.HistoricalAoDActivity, res.OracleAoDActivity, res.RandomAoDActivity},
+		}},
+	}
+}
+
+func churnFigure(t *testing.T) dosn.Figure {
+	s := goldenSuite(t)
+	rows, err := dosn.Churn(s.Facebook, dosn.NewSporadic(0), 5, 2, 42)
+	if err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	fig := dosn.Figure{
+		ID:     "ablation-churn",
+		Title:  "A3: availability under replica churn (budget 5)",
+		XLabel: "failed replicas",
+		YLabel: "availability",
+	}
+	for _, r := range rows {
+		xs := make([]float64, len(r.Availability))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		fig.Series = append(fig.Series, dosn.Series{Label: r.Policy, X: xs, Y: r.Availability})
+	}
+	return fig
+}
+
+func loadBalanceFigure(t *testing.T) dosn.Figure {
+	s := goldenSuite(t)
+	rows, err := dosn.ReplicaLoadBalance(s.Facebook, dosn.NewSporadic(0), dosn.ConRep, 3, 42)
+	if err != nil {
+		t.Fatalf("load balance: %v", err)
+	}
+	fig := dosn.Figure{
+		ID:     "experiment-loadbalance",
+		Title:  "X4: replica-host load balance (ConRep, budget 3)",
+		XLabel: "statistic (0=mean, 1=max, 2=cv)",
+		YLabel: "replica-host load",
+	}
+	for _, r := range rows {
+		fig.Series = append(fig.Series, dosn.Series{
+			Label: r.Policy,
+			X:     []float64{0, 1, 2},
+			Y:     []float64{r.MeanLoad, r.MaxLoad, r.CV},
+		})
+	}
+	return fig
+}
+
+var (
+	goldenMatrixOnce sync.Once
+	goldenMatrix     *harness.RunManifest
+	goldenMatrixErr  error
+)
+
+// matrixCellFigure snapshots one cell of a harness run, pinning the matrix
+// seed derivation and the schedule cache alongside the engine itself.
+func matrixCellFigure(dataset, model, mode, metricID string) func(t *testing.T) dosn.Figure {
+	return func(t *testing.T) dosn.Figure {
+		goldenMatrixOnce.Do(func() {
+			spec := harness.MatrixSpec{
+				Datasets: []harness.DatasetSpec{
+					{Name: "facebook", Users: 300, Seed: 1},
+					{Name: "twitter", Users: 300, Seed: 2},
+				},
+				Models:     []harness.ModelSpec{harness.Sporadic(), harness.FixedLength(2)},
+				Modes:      []string{"ConRep", "UnconRep"},
+				MaxDegree:  4,
+				UserDegree: 0, // modal degree at this scale
+				Repeats:    2,
+				RootSeed:   7,
+			}
+			goldenMatrix, goldenMatrixErr = harness.Run(spec, harness.RunOptions{})
+		})
+		if goldenMatrixErr != nil {
+			t.Fatalf("matrix run: %v", goldenMatrixErr)
+		}
+		cell, ok := goldenMatrix.Cell(dataset, model, mode)
+		if !ok {
+			t.Fatalf("matrix cell %s/%s/%s missing", dataset, model, mode)
+		}
+		fig := dosn.Figure{
+			ID:     fmt.Sprintf("matrix-%s-%s-%s-%s", dataset, model, mode, metricID),
+			Title:  fmt.Sprintf("Matrix cell %s/%s/%s: %s", dataset, model, mode, metricID),
+			XLabel: "replication degree",
+			YLabel: metricID,
+		}
+		for pi, policy := range cell.Policies {
+			xs := make([]float64, len(cell.Degrees))
+			ys := make([]float64, len(cell.Degrees))
+			for di, d := range cell.Degrees {
+				xs[di] = float64(d)
+				v, ok := cell.Value(metricID, pi, di)
+				if !ok {
+					t.Fatalf("metric %s missing for %s degree %d", metricID, policy, d)
+				}
+				ys[di] = v
+			}
+			fig.Series = append(fig.Series, dosn.Series{Label: policy, X: xs, Y: ys})
+		}
+		return fig
+	}
+}
+
+// TestGolden replays every snapshotted figure/experiment and compares it
+// against testdata/golden.
+func TestGolden(t *testing.T) {
+	entries := goldenEntries()
+	if len(entries) < 10 {
+		t.Fatalf("golden corpus shrank to %d entries; the regression net needs at least 10", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.id] {
+			t.Fatalf("duplicate golden id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			fig := e.gen(t)
+			path := filepath.Join(goldenDir, e.id+".json")
+			if *update {
+				writeGolden(t, path, fig)
+				return
+			}
+			want := readGolden(t, path)
+			compareFigures(t, e.tol, fig, want)
+		})
+	}
+}
+
+// TestGoldenCorpusHasNoStrays fails when testdata/golden contains snapshots
+// no entry regenerates (renamed or deleted experiments leave stale science).
+func TestGoldenCorpusHasNoStrays(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(goldenDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, e := range goldenEntries() {
+		known[e.id+".json"] = true
+	}
+	for _, f := range files {
+		if !known[filepath.Base(f)] {
+			t.Errorf("stray golden file %s: no entry regenerates it", f)
+		}
+	}
+	if len(files) == 0 {
+		t.Error("no golden snapshots committed; run go test -run TestGolden -update")
+	}
+}
+
+func writeGolden(t *testing.T, path string, fig dosn.Figure) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(fig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}
+
+func readGolden(t *testing.T, path string) dosn.Figure {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot %s (run `go test -run TestGolden -update ./...`): %v", path, err)
+	}
+	var fig dosn.Figure
+	if err := json.Unmarshal(data, &fig); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return fig
+}
+
+func compareFigures(t *testing.T, tol tolerance, got, want dosn.Figure) {
+	t.Helper()
+	if got.ID != want.ID {
+		t.Errorf("figure ID = %q, want %q", got.ID, want.ID)
+	}
+	if len(got.Series) != len(want.Series) {
+		t.Fatalf("series count = %d, want %d", len(got.Series), len(want.Series))
+	}
+	for si := range want.Series {
+		g, w := got.Series[si], want.Series[si]
+		if g.Label != w.Label {
+			t.Errorf("series %d label = %q, want %q", si, g.Label, w.Label)
+			continue
+		}
+		if len(g.X) != len(w.X) || len(g.Y) != len(w.Y) {
+			t.Errorf("series %q length = (%d,%d), want (%d,%d)", w.Label, len(g.X), len(g.Y), len(w.X), len(w.Y))
+			continue
+		}
+		for i := range w.X {
+			if !tol.close(g.X[i], w.X[i]) {
+				t.Errorf("series %q x[%d] = %v, want %v", w.Label, i, g.X[i], w.X[i])
+			}
+		}
+		for i := range w.Y {
+			if !tol.close(g.Y[i], w.Y[i]) {
+				t.Errorf("series %q y[%d] = %v, want %v (tol %+v)", w.Label, i, g.Y[i], w.Y[i], tol)
+			}
+		}
+	}
+}

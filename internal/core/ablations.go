@@ -28,9 +28,8 @@ func ActivityMinutes(acts []trace.Activity) interval.Set {
 
 // ObjectiveAblation compares MaxAv's two set-cover objectives (availability
 // vs on-demand-activity) head to head; the activity-targeted variant should
-// win on AoD-activity and lose on raw availability (ablation A1 in
-// DESIGN.md). The returned Result carries both variants plus Random as the
-// floor.
+// win on AoD-activity and lose on raw availability (ablation A1). The
+// returned Result carries both variants plus Random as the floor.
 func ObjectiveAblation(ds *trace.Dataset, model onlinetime.Model, opts Options) (*Result, error) {
 	opts = opts.fill()
 	return Run(Config{

@@ -5,10 +5,11 @@
 //
 // The engine exploits the fact that all three policies are incremental (the
 // selection for budget r is a prefix of the selection for budget r+1), so a
-// full 0..MaxDegree sweep costs one policy run per user. Users are processed
-// by a bounded worker pool and reduced with mergeable Welford accumulators,
-// so sweeps over tens of thousands of users run in seconds and results are
-// independent of scheduling order.
+// full 0..MaxDegree sweep costs one policy run per user. A bounded worker
+// pool processes fixed index-ordered user chunks into per-chunk Welford
+// grids that are merged in chunk order, so sweeps over tens of thousands of
+// users run in seconds and results are bit-identical regardless of worker
+// count or goroutine scheduling.
 package core
 
 import (
@@ -17,6 +18,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dosn/internal/interval"
 	"dosn/internal/metrics"
@@ -86,8 +88,16 @@ type Config struct {
 	Repeats int
 	// Seed drives all randomness in the sweep.
 	Seed int64
-	// Workers bounds the worker pool; default runtime.NumCPU().
+	// Workers bounds the worker pool; default runtime.NumCPU(). The result
+	// does not depend on the worker count.
 	Workers int
+	// Schedules optionally supplies precomputed per-repetition online-time
+	// schedules (Schedules[rep][userID]). When set for a repetition, the
+	// engine uses it instead of calling Model.ScheduleAll, which lets
+	// callers share schedule computations across sweeps with the same
+	// (dataset, model, rep) — see internal/harness. Repetitions beyond
+	// len(Schedules) fall back to Model.ScheduleAll.
+	Schedules [][]interval.Set
 }
 
 // Errors returned by Run.
@@ -117,6 +127,11 @@ func (c *Config) fill() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	for rep, s := range c.Schedules {
+		if s != nil && len(s) < c.Dataset.NumUsers() {
+			return fmt.Errorf("core: Schedules[%d] covers %d users, dataset has %d", rep, len(s), c.Dataset.NumUsers())
+		}
 	}
 	if len(c.Users) == 0 {
 		deg := c.UserDegree
@@ -210,7 +225,12 @@ func Run(cfg Config) (*Result, error) {
 	res.Cells = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		schedules := cfg.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))))
+		var schedules []interval.Set
+		if rep < len(cfg.Schedules) && cfg.Schedules[rep] != nil {
+			schedules = cfg.Schedules[rep]
+		} else {
+			schedules = cfg.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))))
+		}
 		grid := sweepOnce(cfg, schedules, rep)
 		mergeGrids(res.Cells, grid)
 	}
@@ -233,33 +253,52 @@ func mergeGrids(dst, src [][]Cell) {
 	}
 }
 
-// sweepOnce processes all users for one repetition with a worker pool.
-func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
-	type job struct{ u socialgraph.UserID }
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	partials := make([][][]Cell, cfg.Workers)
+// sweepChunkSize fixes the user-chunk granularity of the parallel sweep.
+// Chunk boundaries depend only on the user list, never on the worker count,
+// which is what keeps the reduction order — and the result bits — stable.
+// The size balances scheduling overhead against parallelism: the default
+// analysis population (users at one degree) is often only a few hundred
+// users, and a 16-user chunk still spreads that over every core.
+const sweepChunkSize = 16
 
+// sweepOnce processes all users for one repetition with a worker pool.
+// Workers claim fixed index-ordered chunks of users and reduce each chunk's
+// samples in user order into a per-chunk grid; the chunk grids are then
+// merged sequentially in chunk order. Both accumulation orders are fixed by
+// the user list alone, so the result is bit-identical regardless of worker
+// count or goroutine scheduling. Live memory is O(chunks × policies ×
+// degrees) — all chunk grids are held until the final merge, a few MB at
+// paper scale — in exchange for that scheduling independence.
+func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
+	nChunks := (len(cfg.Users) + sweepChunkSize - 1) / sweepChunkSize
+	chunkGrids := make([][][]Cell, nChunks)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
-		w := w
-		partials[w] = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				sweepUser(cfg, schedules, rep, j.u, partials[w])
+			for {
+				ci := int(next.Add(1))
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * sweepChunkSize
+				hi := min(lo+sweepChunkSize, len(cfg.Users))
+				grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
+				for _, u := range cfg.Users[lo:hi] {
+					sweepUser(cfg, schedules, rep, u, grid)
+				}
+				chunkGrids[ci] = grid
 			}
 		}()
 	}
-	for _, u := range cfg.Users {
-		jobs <- job{u: u}
-	}
-	close(jobs)
 	wg.Wait()
 
 	grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
-	for _, p := range partials {
-		mergeGrids(grid, p)
+	for _, g := range chunkGrids {
+		mergeGrids(grid, g)
 	}
 	return grid
 }

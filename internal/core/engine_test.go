@@ -2,8 +2,11 @@ package core
 
 import (
 	"errors"
+	"math/rand"
+	"reflect"
 	"testing"
 
+	"dosn/internal/interval"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/socialgraph"
@@ -190,30 +193,68 @@ func TestEffectiveReplicasBoundedByBudget(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Per-user samples are reduced in user order regardless of which worker
+	// computed them, so results must be bit-identical — not merely close —
+	// across worker counts and across repeated runs at the same count.
 	ds := testDataset(t)
 	base := Config{
 		Dataset: ds, Model: onlinetime.RandomLength{}, Mode: replica.ConRep,
 		MaxDegree: 6, UserDegree: 10, Repeats: 2, Seed: 99,
 	}
-	one := base
-	one.Workers = 1
-	many := base
-	many.Workers = 8
-	r1, err1 := Run(one)
-	r2, err2 := Run(many)
-	if err1 != nil || err2 != nil {
-		t.Fatalf("Run: %v %v", err1, err2)
-	}
-	for pi := range r1.Policies {
-		for di := range r1.Degrees {
-			for _, m := range []Metric{MetricAvailability, MetricAoDTime, MetricAoDActivity, MetricDelayHours} {
-				a, b := r1.Value(pi, di, m), r2.Value(pi, di, m)
-				if diff := a - b; diff > 1e-9 || diff < -1e-9 {
-					t.Fatalf("%s/%s at degree %d differs across worker counts: %v vs %v",
-						r1.Policies[pi], m, di, a, b)
-				}
-			}
+	run := func(workers int) *Result {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
 		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{1, 3, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("result with %d workers differs bitwise from 1-worker reference", workers)
+		}
+	}
+}
+
+func TestRunUsesPrecomputedSchedules(t *testing.T) {
+	ds := testDataset(t)
+	base := Config{
+		Dataset: ds, Model: onlinetime.Sporadic{}, Mode: replica.ConRep,
+		MaxDegree: 4, UserDegree: 10, Repeats: 2, Seed: 5,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Precomputing the schedules exactly as Run derives them must reproduce
+	// the plain result bit for bit.
+	pre := base
+	for rep := 0; rep < base.Repeats; rep++ {
+		pre.Schedules = append(pre.Schedules,
+			base.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(base.Seed, int64(rep))))))
+	}
+	cached, err := Run(pre)
+	if err != nil {
+		t.Fatalf("Run with schedules: %v", err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Error("precomputed schedules changed the result")
+	}
+	// Different schedules must change the result (the override is honoured).
+	alt := base
+	for rep := 0; rep < base.Repeats; rep++ {
+		alt.Schedules = append(alt.Schedules,
+			base.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(777, int64(rep))))))
+	}
+	shifted, err := Run(alt)
+	if err != nil {
+		t.Fatalf("Run with alt schedules: %v", err)
+	}
+	if reflect.DeepEqual(plain, shifted) {
+		t.Error("alternate schedules were ignored")
 	}
 }
 
@@ -256,5 +297,17 @@ func TestMixIsStable(t *testing.T) {
 	}
 	if a == c {
 		t.Error("mix should depend on argument order")
+	}
+}
+
+func TestRunRejectsMisshapenSchedules(t *testing.T) {
+	ds := testDataset(t)
+	cfg := Config{
+		Dataset: ds, Model: onlinetime.Sporadic{}, MaxDegree: 2, UserDegree: 10,
+		Repeats: 1, Seed: 1,
+		Schedules: [][]interval.Set{make([]interval.Set, ds.NumUsers()-1)},
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("undersized schedule slice accepted; would panic in a worker")
 	}
 }

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunByteIdenticalAcrossWorkerCounts pins the harness's core guarantee:
+// the marshaled manifest depends only on (spec, root seed). Worker count,
+// goroutine scheduling (two runs at the same count) and the inner core.Run
+// pool size must never change a byte of the output.
+func TestRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	spec := testSpec()
+	marshal := func(opts RunOptions) []byte {
+		t.Helper()
+		m, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", opts, err)
+		}
+		data, err := m.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := marshal(RunOptions{Workers: 1, CoreWorkers: 1})
+	variants := []RunOptions{
+		{Workers: 1, CoreWorkers: 8},
+		{Workers: 4, CoreWorkers: 2},
+		{Workers: 8, CoreWorkers: 1},
+		{Workers: 8, CoreWorkers: 1}, // same count twice: scheduling jitter
+	}
+	for _, opts := range variants {
+		if got := marshal(opts); !bytes.Equal(ref, got) {
+			t.Errorf("manifest bytes differ for %+v", opts)
+		}
+	}
+}
+
+// TestRunSubsetIsConsistentWithFullMatrix verifies that running a sub-matrix
+// reproduces the exact cells of the full matrix: cell seeds hash coordinates,
+// not indices, so adding rows to a spec never perturbs existing results.
+func TestRunSubsetIsConsistentWithFullMatrix(t *testing.T) {
+	full := testSpec()
+	m1, err := Run(full, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("Run(full): %v", err)
+	}
+	sub := testSpec()
+	sub.Datasets = sub.Datasets[:1]  // facebook only
+	sub.Models = sub.Models[1:]      // FixedLength(2h) only
+	sub.Modes = []string{"UnconRep"} // one mode
+	m2, err := Run(sub, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run(sub): %v", err)
+	}
+	want, ok := m1.Cell("facebook", "FixedLength(2h)", "UnconRep")
+	if !ok {
+		t.Fatal("cell missing from full manifest")
+	}
+	got, ok := m2.Cell("facebook", "FixedLength(2h)", "UnconRep")
+	if !ok {
+		t.Fatal("cell missing from sub manifest")
+	}
+	wantJSON, _ := marshalCell(want)
+	gotJSON, _ := marshalCell(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("sub-matrix cell differs from full-matrix cell:\nfull: %s\nsub:  %s", wantJSON, gotJSON)
+	}
+}
+
+func marshalCell(c CellResult) ([]byte, error) {
+	m := RunManifest{Version: ManifestVersion, Cells: []CellResult{c}}
+	return m.MarshalCanonical()
+}
+
+// TestRootSeedChangesResults guards against a degenerate seed derivation
+// that would ignore the root seed.
+func TestRootSeedChangesResults(t *testing.T) {
+	spec := testSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = spec.Models[:1]
+	a, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.RootSeed = 1234
+	b, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.MarshalCanonical()
+	bj, _ := b.MarshalCanonical()
+	if bytes.Equal(aj, bj) {
+		t.Error("different root seeds produced identical manifests")
+	}
+}

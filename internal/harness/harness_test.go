@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dosn/internal/replica"
+)
+
+// testSpec is a small matrix that still exercises both datasets, two models
+// and both modes (8 cells) quickly.
+func testSpec() MatrixSpec {
+	return MatrixSpec{
+		Datasets: []DatasetSpec{
+			{Name: "facebook", Users: 300, Seed: 1},
+			{Name: "twitter", Users: 300, Seed: 2},
+		},
+		Models:     []ModelSpec{Sporadic(), FixedLength(2)},
+		Modes:      []string{"ConRep", "UnconRep"},
+		MaxDegree:  4,
+		UserDegree: 0, // modal degree: robust at small scale
+		Repeats:    2,
+		RootSeed:   7,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := testSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []MatrixSpec{
+		{},
+		{Datasets: []DatasetSpec{{Name: "orkut", Users: 10}}, Models: []ModelSpec{Sporadic()}, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 0}}, Models: []ModelSpec{Sporadic()}, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: nil, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{{Kind: "diurnal"}}, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{{Kind: "fixed"}}, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{{Kind: "fixed", Hours: 25}}, Modes: []string{"ConRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{Sporadic()}, Modes: nil},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{Sporadic()}, Modes: []string{"SemiRep"}},
+		{Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{Sporadic()}, Modes: []string{"ConRep"}, Policies: []string{"LeastAv"}},
+		{Version: 99, Datasets: []DatasetSpec{{Name: "facebook", Users: 10}}, Models: []ModelSpec{Sporadic()}, Modes: []string{"ConRep"}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestModelSpecs(t *testing.T) {
+	tests := []struct {
+		spec ModelSpec
+		name string
+	}{
+		{Sporadic(), "Sporadic"},
+		{ModelSpec{Kind: "sporadic", SessionSeconds: 600}, "Sporadic"},
+		{FixedLength(2), "FixedLength(2h)"},
+		{FixedLength(8), "FixedLength(8h)"},
+		{RandomLength(), "RandomLength"},
+	}
+	for _, tt := range tests {
+		if got := tt.spec.Name(); got != tt.name {
+			t.Errorf("ModelSpec %+v name = %q, want %q", tt.spec, got, tt.name)
+		}
+	}
+}
+
+func TestCellsEnumerateInCanonicalOrder(t *testing.T) {
+	spec := testSpec()
+	cells := spec.Cells()
+	if len(cells) != 8 {
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	wantFirst := "facebook/Sporadic/ConRep"
+	wantLast := "twitter/FixedLength(2h)/UnconRep"
+	if cells[0].Key() != wantFirst || cells[len(cells)-1].Key() != wantLast {
+		t.Errorf("cell order = %q .. %q, want %q .. %q",
+			cells[0].Key(), cells[len(cells)-1].Key(), wantFirst, wantLast)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d carries index %d", i, c.Index)
+		}
+	}
+}
+
+func TestCellSeedInvariantUnderSpecReordering(t *testing.T) {
+	spec := testSpec()
+	reordered := testSpec()
+	reordered.Datasets = []DatasetSpec{spec.Datasets[1], spec.Datasets[0]}
+	reordered.Models = []ModelSpec{spec.Models[1], spec.Models[0]}
+	reordered.Modes = []string{"UnconRep", "ConRep"}
+	seeds := map[string]int64{}
+	for _, c := range spec.Cells() {
+		seeds[c.Key()] = spec.CellSeed(c)
+	}
+	for _, c := range reordered.Cells() {
+		if got, want := reordered.CellSeed(c), seeds[c.Key()]; got != want {
+			t.Errorf("cell %s seed changed under reordering: %d vs %d", c.Key(), got, want)
+		}
+	}
+	// Different root seeds must give different cell seeds.
+	other := testSpec()
+	other.RootSeed = 8
+	c := spec.Cells()[0]
+	if spec.CellSeed(c) == other.CellSeed(c) {
+		t.Error("cell seed ignores the root seed")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := testSpec().fill()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MatrixSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Datasets[1].Name != "twitter" || back.Models[1].Hours != 2 ||
+		back.RootSeed != 7 || len(back.Policies) != 3 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestPaperMatrixCoversTheFullEvaluation(t *testing.T) {
+	spec := PaperMatrix(2000)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("paper matrix invalid: %v", err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 2*6*2 {
+		t.Errorf("paper matrix has %d cells, want 24", len(cells))
+	}
+	if spec.MaxDegree != 10 || spec.Repeats != 5 || spec.UserDegree != 10 {
+		t.Errorf("paper parameters wrong: %+v", spec)
+	}
+}
+
+func TestRunProducesCompleteManifest(t *testing.T) {
+	spec := testSpec()
+	var progressCalls, lastTotal int
+	m, err := Run(spec, RunOptions{
+		Workers: 4,
+		Progress: func(done, total int, cell CellSpec, elapsed time.Duration) {
+			progressCalls++
+			lastTotal = total
+			if cell.Key() == "" || elapsed < 0 {
+				t.Errorf("bad progress callback: %v %v", cell, elapsed)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if progressCalls != 8 || lastTotal != 8 {
+		t.Errorf("progress called %d times (total %d), want 8", progressCalls, lastTotal)
+	}
+	if m.Version != ManifestVersion || len(m.Cells) != 8 {
+		t.Fatalf("manifest version %d with %d cells", m.Version, len(m.Cells))
+	}
+	// 8 cells over 4 distinct (dataset, model) pairs → 4 schedule reuses.
+	if m.ScheduleCacheHits != 4 {
+		t.Errorf("schedule cache hits = %d, want 4", m.ScheduleCacheHits)
+	}
+	for _, c := range m.Cells {
+		if c.Users == 0 {
+			t.Errorf("cell %s/%s/%s averaged over zero users", c.Dataset, c.Model, c.Mode)
+		}
+		if len(c.Degrees) != spec.MaxDegree+1 || len(c.Policies) != 3 {
+			t.Errorf("cell %s/%s/%s shape: %d degrees, %d policies", c.Dataset, c.Model, c.Mode, len(c.Degrees), len(c.Policies))
+		}
+		for _, id := range MetricIDs() {
+			grid, ok := c.Metrics[id]
+			if !ok || len(grid) != len(c.Policies) {
+				t.Fatalf("cell %s/%s/%s missing metric %s", c.Dataset, c.Model, c.Mode, id)
+			}
+		}
+		// Availability must be monotone in the replication degree.
+		for pi := range c.Policies {
+			prev := -1.0
+			for di := range c.Degrees {
+				v, _ := c.Value("availability", pi, di)
+				if v < prev-1e-9 {
+					t.Errorf("cell %s/%s/%s %s: availability not monotone", c.Dataset, c.Model, c.Mode, c.Policies[pi])
+				}
+				prev = v
+			}
+		}
+	}
+	// UnconRep availability must dominate ConRep for MaxAv (Fig. 4).
+	con, ok1 := m.Cell("facebook", "FixedLength(2h)", "ConRep")
+	unc, ok2 := m.Cell("facebook", "FixedLength(2h)", "UnconRep")
+	if !ok1 || !ok2 {
+		t.Fatal("expected cells missing from manifest")
+	}
+	for di := range con.Degrees {
+		cv, _ := con.Value("availability", 0, di)
+		uv, _ := unc.Value("availability", 0, di)
+		if uv+1e-9 < cv {
+			t.Errorf("degree %d: UnconRep availability %.4f below ConRep %.4f", di, uv, cv)
+		}
+	}
+}
+
+func TestManifestJSONRoundTripAndCSV(t *testing.T) {
+	spec := testSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = spec.Models[:1]
+	m, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	again, err := back.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(buf.Bytes()), bytes.TrimSpace(again)) {
+		t.Error("manifest JSON does not round-trip canonically")
+	}
+	if _, err := ReadManifest(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("unknown manifest version accepted")
+	}
+
+	var csv bytes.Buffer
+	if err := m.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	wantRows := 1 // header
+	for _, c := range m.Cells {
+		wantRows += len(c.Policies) * len(c.Degrees)
+	}
+	if len(lines) != wantRows {
+		t.Errorf("CSV has %d lines, want %d", len(lines), wantRows)
+	}
+	wantHeader := "dataset,model,model_key,mode,policy,degree,seed,users,repeats,availability,aod_time,aod_activity,delay_hours,effective_replicas"
+	if lines[0] != wantHeader {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(wantHeader, ",") {
+			t.Fatalf("ragged CSV row: %q", line)
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"MaxAv", "MaxAv(activity)", "MostActive", "Random"} {
+		p, err := policyByName(name)
+		if err != nil {
+			t.Fatalf("policyByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("policyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := policyByName("Clairvoyant"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := parseMode("ConRep"); err != nil {
+		t.Error("ConRep rejected")
+	}
+	if m, _ := parseMode("UnconRep"); m != replica.UnconRep {
+		t.Error("UnconRep parsed wrong")
+	}
+}
+
+// TestParameterizedModelVariantsDoNotCollide pins the fix for the lossy
+// identity key: "sporadic" and "sporadic:3600" share the display name
+// "Sporadic" but must get distinct seeds, distinct schedule computations and
+// distinct results — and the cells must be distinguishable via ModelSpec.
+func TestParameterizedModelVariantsDoNotCollide(t *testing.T) {
+	spec := testSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = []ModelSpec{Sporadic(), {Kind: "sporadic", SessionSeconds: 3600}}
+	spec.Modes = []string{"ConRep"}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("distinct variants rejected: %v", err)
+	}
+	cells := spec.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	if spec.CellSeed(cells[0]) == spec.CellSeed(cells[1]) {
+		t.Fatal("parameterized variants share a cell seed")
+	}
+	m, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.ScheduleCacheHits != 0 {
+		t.Errorf("schedule cache hits = %d; distinct variants must not share schedules", m.ScheduleCacheHits)
+	}
+	a, b := m.Cells[0], m.Cells[1]
+	if a.Model != "Sporadic" || b.Model != "Sporadic" {
+		t.Fatalf("display names = %q, %q", a.Model, b.Model)
+	}
+	if a.ModelSpec.SessionSeconds == b.ModelSpec.SessionSeconds {
+		t.Error("ModelSpec coordinates lost: cells are indistinguishable")
+	}
+	av0, _ := a.Value("availability", 0, 3)
+	av1, _ := b.Value("availability", 0, 3)
+	if av0 == av1 {
+		t.Errorf("a 20-minute and a 1-hour session produced identical availability %v; the second model's parameters were ignored", av0)
+	}
+}
+
+// TestValidateRejectsDuplicateCells: listing the identical coordinates twice
+// would emit two byte-identical cells; Validate must refuse instead.
+func TestValidateRejectsDuplicateCells(t *testing.T) {
+	spec := testSpec()
+	spec.Models = []ModelSpec{Sporadic(), Sporadic()}
+	if err := spec.Validate(); err == nil {
+		t.Error("duplicate model entries accepted")
+	}
+	spec = testSpec()
+	spec.Modes = []string{"ConRep", "ConRep"}
+	if err := spec.Validate(); err == nil {
+		t.Error("duplicate mode entries accepted")
+	}
+	spec = testSpec()
+	spec.Datasets = append(spec.Datasets, spec.Datasets[0])
+	if err := spec.Validate(); err == nil {
+		t.Error("duplicate dataset entries accepted")
+	}
+	// Same dataset name with different parameters is a legitimate matrix.
+	spec = testSpec()
+	spec.Datasets = []DatasetSpec{
+		{Name: "facebook", Users: 300, Seed: 1},
+		{Name: "facebook", Users: 400, Seed: 1},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Errorf("distinct same-name datasets rejected: %v", err)
+	}
+}
+
+// TestKeyNormalizesZeroValueDefaults: specs that instantiate the identical
+// experiment must share one identity (seed, caches, duplicate detection),
+// whether defaults are spelled out or left zero.
+func TestKeyNormalizesZeroValueDefaults(t *testing.T) {
+	equal := []struct{ a, b ModelSpec }{
+		{Sporadic(), ModelSpec{Kind: "sporadic", SessionSeconds: 1200}}, // 20 min default
+		{RandomLength(), ModelSpec{Kind: "random", MinHours: 2, MaxHours: 8}},
+		{ModelSpec{Kind: "random", MinHours: 5, MaxHours: 3}, ModelSpec{Kind: "random", MinHours: 5, MaxHours: 5}}, // hi<lo clamps
+		{FixedLength(4), ModelSpec{Kind: "fixed", Hours: 4, SessionSeconds: 999}},                                  // fixed ignores session
+	}
+	for _, tt := range equal {
+		if tt.a.key() != tt.b.key() {
+			t.Errorf("equivalent models %+v and %+v have different keys %q vs %q", tt.a, tt.b, tt.a.key(), tt.b.key())
+		}
+	}
+	if Sporadic().key() == (ModelSpec{Kind: "sporadic", SessionSeconds: 3600}).key() {
+		t.Error("distinct session lengths share a key")
+	}
+
+	dsEqual := []struct{ a, b DatasetSpec }{
+		{a: DatasetSpec{Name: "facebook", Users: 300}, b: DatasetSpec{Name: "facebook", Users: 300, Seed: 1, MinActivity: 10}},
+		{a: DatasetSpec{Name: "twitter", Users: 300}, b: DatasetSpec{Name: "twitter", Users: 300, Seed: 2, MinActivity: 10}},
+		{a: DatasetSpec{Name: "facebook", Users: 300, MinActivity: -1}, b: DatasetSpec{Name: "facebook", Users: 300, Seed: 1, MinActivity: -5}},
+	}
+	for _, tt := range dsEqual {
+		if tt.a.key() != tt.b.key() {
+			t.Errorf("equivalent datasets %+v and %+v have different keys %q vs %q", tt.a, tt.b, tt.a.key(), tt.b.key())
+		}
+	}
+
+	// Validate must flag the spelled-out duplicate of a defaulted entry.
+	spec := testSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = []ModelSpec{Sporadic(), {Kind: "sporadic", SessionSeconds: 1200}}
+	if err := spec.Validate(); err == nil {
+		t.Error("semantically duplicate models accepted")
+	}
+}
+
+func TestNegativeSessionSecondsNormalizesToDefault(t *testing.T) {
+	if Sporadic().key() != (ModelSpec{Kind: "sporadic", SessionSeconds: -1}).key() {
+		t.Error("negative session length (runtime default) has a distinct identity")
+	}
+	spec := testSpec()
+	spec.Datasets = spec.Datasets[:1]
+	spec.Models = []ModelSpec{Sporadic(), {Kind: "sporadic", SessionSeconds: -1}}
+	if err := spec.Validate(); err == nil {
+		t.Error("semantically duplicate models (default vs negative session) accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dosn/internal/core"
+	"dosn/internal/interval"
+	"dosn/internal/onlinetime"
+	"dosn/internal/replica"
+	"dosn/internal/trace"
+	"math/rand"
+)
+
+// RunOptions tunes execution only; nothing here may change the results.
+type RunOptions struct {
+	// Workers bounds the number of cells executed concurrently; default
+	// NumCPU (capped by the cell count).
+	Workers int
+	// CoreWorkers bounds core.Run's per-user pool inside each cell; default
+	// max(1, NumCPU/Workers) so the two layers together roughly fill the
+	// machine without gross oversubscription.
+	CoreWorkers int
+	// Progress, when set, is called after each finished cell.
+	Progress func(done, total int, cell CellSpec, elapsed time.Duration)
+}
+
+func (o RunOptions) fill(cells int) RunOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if cells > 0 && o.Workers > cells {
+		o.Workers = cells
+	}
+	if o.CoreWorkers <= 0 {
+		o.CoreWorkers = runtime.NumCPU() / o.Workers
+		if o.CoreWorkers < 1 {
+			o.CoreWorkers = 1
+		}
+	}
+	return o
+}
+
+// lazy computes a value at most once; concurrent callers share the result.
+type lazy[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (l *lazy[T]) get(compute func() (T, error)) (T, error) {
+	l.once.Do(func() { l.val, l.err = compute() })
+	return l.val, l.err
+}
+
+// caches shares datasets and schedule computations across the cells of one
+// run. Keys are value types of the spec, so two cells hit the same entry
+// exactly when their results are defined to coincide.
+type caches struct {
+	mu        sync.Mutex
+	datasets  map[string]*lazy[*trace.Dataset]
+	schedules map[string]*lazy[[][]interval.Set]
+	schedHits atomic.Int64
+}
+
+func newCaches() *caches {
+	return &caches{
+		datasets:  make(map[string]*lazy[*trace.Dataset]),
+		schedules: make(map[string]*lazy[[][]interval.Set]),
+	}
+}
+
+func (c *caches) datasetEntry(key string) *lazy[*trace.Dataset] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.datasets[key]
+	if !ok {
+		e = &lazy[*trace.Dataset]{}
+		c.datasets[key] = e
+	}
+	return e
+}
+
+func (c *caches) scheduleEntry(key string) (entry *lazy[[][]interval.Set], hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schedules[key]
+	if !ok {
+		e = &lazy[[][]interval.Set]{}
+		c.schedules[key] = e
+	}
+	return e, ok
+}
+
+// buildDataset synthesizes the dataset a DatasetSpec describes through the
+// shared calibrated-construction path (same as dosn.Facebook/Twitter). The
+// spec's zero-value defaults (seed, activity filter) are resolved by
+// normalized(), matching the identity used for caching and seeds.
+func buildDataset(d DatasetSpec) (*trace.Dataset, error) {
+	n := d.normalized()
+	return trace.SynthesizeCalibrated(n.Name, n.Users, n.Seed, n.MinActivity)
+}
+
+// schedulesFor computes (or fetches) the per-repetition schedules shared by
+// every cell with the given (dataset, model) coordinates.
+func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model) ([][]interval.Set, error) {
+	key := d.key() + "|" + m.key()
+	entry, existed := c.scheduleEntry(key)
+	if existed {
+		c.schedHits.Add(1)
+	}
+	return entry.get(func() ([][]interval.Set, error) {
+		out := make([][]interval.Set, spec.Repeats)
+		for rep := range out {
+			rng := rand.New(rand.NewSource(spec.scheduleSeed(d, m, rep)))
+			out[rep] = model.ScheduleAll(ds, rng)
+		}
+		return out, nil
+	})
+}
+
+// Run executes every cell of the matrix and returns the assembled manifest.
+// The manifest depends only on (spec, root seed): worker counts, scheduling
+// and cache state never leak into the output bytes.
+func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
+	spec = spec.fill()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Cells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("harness: spec enumerates no cells")
+	}
+	opts = opts.fill(len(cells))
+
+	policies := make([]replica.Policy, len(spec.Policies))
+	for i, name := range spec.Policies {
+		p, err := policyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		policies[i] = p
+	}
+
+	shared := newCaches()
+	results := make([]CellResult, len(cells))
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	next.Store(-1)
+	var done atomic.Int64
+	var mu sync.Mutex // serializes Progress callbacks
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				start := time.Now()
+				results[i], errs[i] = runCell(spec, cells[i], policies, opts.CoreWorkers, shared)
+				if opts.Progress != nil {
+					mu.Lock()
+					opts.Progress(int(done.Add(1)), len(cells), cells[i], time.Since(start))
+					mu.Unlock()
+				} else {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: %w", cells[i].Key(), err)
+		}
+	}
+	return &RunManifest{
+		Version:           ManifestVersion,
+		Spec:              spec,
+		ScheduleCacheHits: int(shared.schedHits.Load()),
+		Cells:             results,
+	}, nil
+}
+
+// runCell executes one cell's replication-degree sweep.
+func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWorkers int, shared *caches) (CellResult, error) {
+	ds, err := shared.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
+		return buildDataset(cell.Dataset)
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	model, err := cell.Model.Model()
+	if err != nil {
+		return CellResult{}, err
+	}
+	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model)
+	if err != nil {
+		return CellResult{}, err
+	}
+	seed := spec.CellSeed(cell)
+	res, err := core.Run(core.Config{
+		Dataset:    ds,
+		Model:      model,
+		Mode:       cell.Mode,
+		Policies:   policies,
+		MaxDegree:  spec.MaxDegree,
+		UserDegree: spec.UserDegree,
+		Repeats:    spec.Repeats,
+		Seed:       seed,
+		Workers:    coreWorkers,
+		Schedules:  schedules,
+	})
+	if err != nil {
+		return CellResult{}, err
+	}
+	return newCellResult(cell, seed, res), nil
+}

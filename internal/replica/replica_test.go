@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -210,41 +211,73 @@ func TestPolicyNames(t *testing.T) {
 	}
 }
 
-// Property: for any random schedules, MaxAv coverage is always at least the
-// coverage of a Random selection with the same budget and mode (greedy
-// set-cover dominance over naive placement at equal replica counts is not
-// guaranteed in general, but holds whenever MaxAv uses >= as many replicas;
-// we check the weaker invariant: MaxAv coverage >= Random coverage when
-// MaxAv selected at least as many replicas).
+// dominanceFixture builds the randomized instance the MaxAv-vs-Random
+// properties check: 7 candidates with random single-window schedules,
+// UnconRep, budget 3. It returns both selections and a coverage function.
+func dominanceFixture(seed int64) (ma, rd []socialgraph.UserID, cov func([]socialgraph.UserID) int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8
+	schedules := make([]interval.Set, n)
+	for i := range schedules {
+		schedules[i] = interval.Window(rng.Intn(1440), 30+rng.Intn(300))
+	}
+	cands := make([]socialgraph.UserID, 0, n-1)
+	for i := 1; i < n; i++ {
+		cands = append(cands, socialgraph.UserID(i))
+	}
+	in := Input{Owner: 0, Candidates: cands, Schedules: schedules, Mode: UnconRep, Budget: 3}
+	ma = MaxAv{}.Select(in, nil)
+	rd = Random{}.Select(in, rng)
+	cov = func(rs []socialgraph.UserID) int {
+		s := schedules[0]
+		for _, r := range rs {
+			s = s.Union(schedules[r])
+		}
+		return s.Len()
+	}
+	return ma, rd, cov
+}
+
+// Property: greedy max-coverage carries the classic (1 − 1/e) set-cover
+// guarantee, which is what the paper's §III-A heuristic actually promises:
+// MaxAv's marginal coverage beyond the owner's own online time is at least
+// (1 − 1/e) times the marginal coverage of ANY same-budget selection — in
+// particular Random's. Strict dominance at equal replica counts is NOT an
+// invariant of the greedy heuristic: a lucky random draw can beat it (see
+// TestMaxAvBeatenByLuckyRandomRegression for a concrete counterexample), so
+// the previous "MaxAv coverage >= Random coverage" property was falsifiable.
 func TestQuickMaxAvDominatesRandom(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 8
-		schedules := make([]interval.Set, n)
-		for i := range schedules {
-			schedules[i] = interval.Window(rng.Intn(1440), 30+rng.Intn(300))
-		}
-		cands := make([]socialgraph.UserID, 0, n-1)
-		for i := 1; i < n; i++ {
-			cands = append(cands, socialgraph.UserID(i))
-		}
-		in := Input{Owner: 0, Candidates: cands, Schedules: schedules, Mode: UnconRep, Budget: 3}
-		ma := MaxAv{}.Select(in, nil)
-		rd := Random{}.Select(in, rng)
-		cov := func(rs []socialgraph.UserID) int {
-			s := schedules[0]
-			for _, r := range rs {
-				s = s.Union(schedules[r])
-			}
-			return s.Len()
-		}
-		if len(ma) >= len(rd) {
-			return cov(ma) >= cov(rd)
-		}
-		return true
+		ma, rd, cov := dominanceFixture(seed)
+		base := cov(nil)
+		maGain := float64(cov(ma) - base)
+		rdGain := float64(cov(rd) - base)
+		const oneMinusInvE = 1 - 1/math.E
+		return maGain >= oneMinusInvE*rdGain-1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMaxAvBeatenByLuckyRandomRegression pins the seed that falsified the
+// old strict-dominance property: greedy picks the largest marginal gain
+// first and locks itself out of the random draw's better 3-set combination.
+// The approximation bound must still hold on exactly that instance.
+func TestMaxAvBeatenByLuckyRandomRegression(t *testing.T) {
+	const seed = 5641609604815361419
+	ma, rd, cov := dominanceFixture(seed)
+	if len(ma) != 3 || len(rd) != 3 {
+		t.Fatalf("selection sizes changed: MaxAv %v, Random %v", ma, rd)
+	}
+	maCov, rdCov := cov(ma), cov(rd)
+	if maCov >= rdCov {
+		t.Fatalf("counterexample evaporated: MaxAv %d >= Random %d (the regression instance should keep documenting why strict dominance is not an invariant)", maCov, rdCov)
+	}
+	base := cov(nil)
+	const oneMinusInvE = 1 - 1/math.E
+	if got, bound := float64(maCov-base), oneMinusInvE*float64(rdCov-base); got < bound {
+		t.Errorf("approximation bound violated at pinned seed: marginal %v < %v", got, bound)
 	}
 }
 

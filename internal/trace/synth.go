@@ -22,10 +22,10 @@ const (
 )
 
 // SynthConfig parameterizes a synthetic dataset calibrated to one of the
-// paper's traces. See DESIGN.md §4 for the substitution rationale: the
-// metrics depend on the degree distribution, per-user activity volume,
-// diurnal clustering of activity times, and interaction skew — all of which
-// are reproduced here.
+// paper's traces. The original traces are not redistributable; substitution
+// is sound because the metrics depend on the degree distribution, per-user
+// activity volume, diurnal clustering of activity times, and interaction
+// skew — all of which are reproduced here.
 type SynthConfig struct {
 	// Name labels the dataset.
 	Name string
@@ -307,4 +307,37 @@ func MustSynthesize(cfg SynthConfig) *Dataset {
 		panic(fmt.Sprintf("trace: MustSynthesize(%+v): %v", cfg, err))
 	}
 	return d
+}
+
+// PaperMinActivity is the paper's activity filter: only users with at least
+// this many created activities enter the analysis.
+const PaperMinActivity = 10
+
+// SynthesizeCalibrated builds the named calibrated dataset ("facebook" or
+// "twitter") with the given seed (used literally, including 0) and applies
+// the paper's activity filter: minActivity 0 means PaperMinActivity and a
+// negative value disables filtering. This is the single construction path
+// shared by the public facade, the dataset generator and the matrix harness.
+func SynthesizeCalibrated(name string, users int, seed int64, minActivity int) (*Dataset, error) {
+	var cfg SynthConfig
+	switch name {
+	case "facebook":
+		cfg = DefaultFacebookConfig(users)
+	case "twitter":
+		cfg = DefaultTwitterConfig(users)
+	default:
+		return nil, fmt.Errorf("trace: unknown calibrated dataset %q (facebook|twitter)", name)
+	}
+	cfg.Seed = seed
+	d, err := Synthesize(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("trace: synthesize %s: %w", name, err)
+	}
+	if minActivity == 0 {
+		minActivity = PaperMinActivity
+	}
+	if minActivity > 0 {
+		d = d.FilterMinActivity(minActivity)
+	}
+	return d, nil
 }
