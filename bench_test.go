@@ -17,7 +17,11 @@ import (
 	"testing"
 
 	"dosn"
+	"dosn/internal/core"
 	"dosn/internal/harness"
+	"dosn/internal/interval"
+	"dosn/internal/onlinetime"
+	"dosn/internal/replica"
 )
 
 const (
@@ -456,5 +460,81 @@ func BenchmarkMatrixSingleCell(b *testing.B) {
 	b.StopTimer()
 	recordMatrixBench(b, "MatrixSingleCell", map[string]float64{
 		"ns_per_cell": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// BenchmarkMatrixSweepMaxAvConRep isolates the per-cell *sweep* cost of the
+// hottest matrix configuration — MaxAv placement under ConRep with Sporadic
+// schedules — with the dataset synthesized and the schedules computed once
+// outside the timed loop. This is the benchmark the interval-engine work is
+// measured against: it exercises exactly the greedy set cover, connectivity
+// checks, metric accumulation and update-propagation-delay computation of
+// core.sweepUser, and nothing else.
+func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
+	s := suite(b)
+	ds := s.Facebook
+	model := onlinetime.Sporadic{}
+	schedules := onlinetime.Compute(model, ds, benchSeed)
+	cfg := core.Config{
+		Dataset:    ds,
+		Model:      model,
+		Mode:       replica.ConRep,
+		Policies:   []replica.Policy{replica.MaxAv{}},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		Seed:       benchSeed,
+		Schedules:  [][]interval.Set{schedules},
+	}
+	var res *core.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(nsPerCell, "ns/cell")
+	b.ReportMetric(res.Value(0, 5, core.MetricAvailability), "maxav_avail_deg5")
+	recordMatrixBench(b, "MatrixSweepMaxAvConRep", map[string]float64{
+		"ns_per_cell":      nsPerCell,
+		"users":            float64(res.Users),
+		"maxav_avail_deg5": res.Value(0, 5, core.MetricAvailability),
+	})
+}
+
+// BenchmarkMatrixSmall is the CI smoke benchmark: one small end-to-end
+// harness run (synthesis + schedules + sweep) that finishes in well under a
+// second. CI runs it and cmd/benchguard fails the build when its per-cell
+// cost regresses more than 2x against the committed BENCH_matrix.json
+// baseline.
+func BenchmarkMatrixSmall(b *testing.B) {
+	spec := harness.MatrixSpec{
+		Datasets:   []harness.DatasetSpec{{Name: "facebook", Users: 600, Seed: 1}},
+		Models:     []harness.ModelSpec{harness.Sporadic()},
+		Modes:      []string{"ConRep"},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		RootSeed:   benchSeed,
+	}
+	var m *harness.RunManifest
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err = harness.Run(spec, harness.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(nsPerCell, "ns/cell")
+	recordMatrixBench(b, "MatrixSmall", map[string]float64{
+		"cells":       float64(len(m.Cells)),
+		"ns_per_cell": nsPerCell,
 	})
 }

@@ -1,0 +1,93 @@
+// Command benchguard compares a freshly measured BENCH_matrix.json against a
+// committed baseline and fails (exit 1) when a watched metric regresses past
+// the allowed ratio. CI runs it after the benchmark smoke step so a change
+// that blows up per-cell sweep cost fails the build instead of landing
+// silently.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_baseline.json -current BENCH_matrix.json \
+//	    -bench MatrixSmall -metric ns_per_cell -max-ratio 2
+//
+// The files hold the map[benchmark]map[metric]float64 layout the repository's
+// recordMatrixBench helper writes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline BENCH json (required)")
+		currentPath  = flag.String("current", "", "freshly measured BENCH json (required)")
+		bench        = flag.String("bench", "MatrixSmall", "benchmark entry to compare")
+		metric       = flag.String("metric", "ns_per_cell", "metric within the entry")
+		maxRatio     = flag.Float64("max-ratio", 2, "fail when current/baseline exceeds this")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		return fmt.Errorf("-baseline and -current are required")
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		return err
+	}
+	msg, err := compare(base, cur, *bench, *metric, *maxRatio)
+	if msg != "" {
+		fmt.Println(msg)
+	}
+	return err
+}
+
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]map[string]float64
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// compare checks one metric of one benchmark entry. It returns a
+// human-readable verdict and a non-nil error on regression or missing data.
+func compare(base, cur map[string]map[string]float64, bench, metric string, maxRatio float64) (string, error) {
+	if maxRatio <= 0 {
+		return "", fmt.Errorf("max-ratio must be positive, got %v", maxRatio)
+	}
+	bv, ok := base[bench][metric]
+	if !ok {
+		return "", fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", bench, metric)
+	}
+	cv, ok := cur[bench][metric]
+	if !ok {
+		return "", fmt.Errorf("current run has no %s.%s — did the benchmark run?", bench, metric)
+	}
+	if bv <= 0 {
+		return "", fmt.Errorf("baseline %s.%s is %v; cannot form a ratio", bench, metric, bv)
+	}
+	ratio := cv / bv
+	verdict := fmt.Sprintf("%s.%s: baseline %.0f, current %.0f, ratio %.2fx (limit %.2fx)",
+		bench, metric, bv, cv, ratio, maxRatio)
+	if ratio > maxRatio {
+		return verdict, fmt.Errorf("%s.%s regressed %.2fx (limit %.2fx)", bench, metric, ratio, maxRatio)
+	}
+	return verdict, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(v float64) map[string]map[string]float64 {
+	return map[string]map[string]float64{"MatrixSmall": {"ns_per_cell": v}}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name       string
+		base, cur  map[string]map[string]float64
+		maxRatio   float64
+		wantErr    string
+		wantReport bool
+	}{
+		{name: "within limit", base: entry(100), cur: entry(150), maxRatio: 2, wantReport: true},
+		{name: "exactly at limit", base: entry(100), cur: entry(200), maxRatio: 2, wantReport: true},
+		{name: "faster is fine", base: entry(100), cur: entry(10), maxRatio: 2, wantReport: true},
+		{name: "regression", base: entry(100), cur: entry(201), maxRatio: 2, wantErr: "regressed", wantReport: true},
+		{name: "missing baseline", base: map[string]map[string]float64{}, cur: entry(100), maxRatio: 2, wantErr: "baseline has no"},
+		{name: "missing current", base: entry(100), cur: map[string]map[string]float64{}, maxRatio: 2, wantErr: "current run has no"},
+		{name: "zero baseline", base: entry(0), cur: entry(100), maxRatio: 2, wantErr: "cannot form a ratio"},
+		{name: "bad ratio", base: entry(1), cur: entry(1), maxRatio: 0, wantErr: "must be positive"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			msg, err := compare(tt.base, tt.cur, "MatrixSmall", "ns_per_cell", tt.maxRatio)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("compare: %v", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+			}
+			if tt.wantReport && msg == "" {
+				t.Error("expected a verdict line")
+			}
+		})
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(`{"MatrixSmall":{"ns_per_cell":123.5,"cells":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["MatrixSmall"]["ns_per_cell"] != 123.5 {
+		t.Fatalf("load = %+v", m)
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := load(bad); err == nil {
+		t.Error("bad json should error")
+	}
+}

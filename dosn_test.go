@@ -2,6 +2,7 @@ package dosn
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -161,5 +162,32 @@ func TestMatrixThroughFacade(t *testing.T) {
 	}
 	if full := PaperMatrix(2000); len(full.Cells()) != 24 {
 		t.Errorf("PaperMatrix enumerates %d cells, want 24", len(full.Cells()))
+	}
+}
+
+// TestBadConfigsFailWithErrorsNotPanics pins the error routing of every
+// construction path a command or library user can reach: degenerate configs
+// must surface as errors with messages, never as trace.MustSynthesize-style
+// panics (MustSynthesize is reserved for tests with hard-coded configs).
+func TestBadConfigsFailWithErrorsNotPanics(t *testing.T) {
+	if _, err := Synthesize(SynthConfig{}); err == nil {
+		t.Error("Synthesize(zero config) should fail with an error")
+	}
+	bad := FacebookConfig(100)
+	bad.MeanDegree = math.NaN()
+	if _, err := Synthesize(bad); err == nil {
+		t.Error("Synthesize(NaN MeanDegree) should fail with an error")
+	}
+	if _, err := SynthesizeCalibrated("bogus", 100, 1, 0); err == nil {
+		t.Error("SynthesizeCalibrated(bogus) should fail with an error")
+	}
+	if _, err := SynthesizeCalibrated("facebook", -3, 1, 0); err == nil {
+		t.Error("SynthesizeCalibrated(users=-3) should fail with an error")
+	}
+	if _, err := Facebook(0, 1); err == nil {
+		t.Error("Facebook(0 users) should fail with an error")
+	}
+	if _, err := NewSuite(0, 100, Options{}); err == nil {
+		t.Error("NewSuite(0 fb users) should fail with an error")
 	}
 }

@@ -16,8 +16,19 @@ import (
 
 // ActivityMinutes returns the set of minutes-of-day at which the given
 // activities occurred — the set-cover universe of MaxAv's
-// on-demand-activity objective (§III-A).
+// on-demand-activity objective (§III-A). Past the density cutover the
+// minutes are accumulated in a bitmap and converted once, replacing the
+// O(n log n) sort-and-merge with O(n) bit sets; both paths produce the same
+// normalized set.
 func ActivityMinutes(acts []trace.Activity) interval.Set {
+	if interval.PreferBitmap(len(acts)) {
+		var b interval.Bitmap
+		for _, a := range acts {
+			m := a.MinuteOfDay()
+			b.AddInterval(interval.Interval{Start: m, End: m + 1})
+		}
+		return b.Set()
+	}
 	ivs := make([]interval.Interval, 0, len(acts))
 	for _, a := range acts {
 		m := a.MinuteOfDay()

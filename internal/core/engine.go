@@ -269,7 +269,12 @@ const sweepChunkSize = 16
 // count or goroutine scheduling. Live memory is O(chunks × policies ×
 // degrees) — all chunk grids are held until the final merge, a few MB at
 // paper scale — in exchange for that scheduling independence.
+//
+// The schedules are densified once per repetition into a shared read-only
+// bitmap slice, and every worker owns one sweepScratch, so the per-user
+// metric accumulation allocates nothing beyond the policy selections.
 func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
+	bitmaps := interval.BitmapsFromSets(schedules)
 	nChunks := (len(cfg.Users) + sweepChunkSize - 1) / sweepChunkSize
 	chunkGrids := make([][][]Cell, nChunks)
 	var next atomic.Int64
@@ -279,6 +284,7 @@ func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch sweepScratch
 			for {
 				ci := int(next.Add(1))
 				if ci >= nChunks {
@@ -288,7 +294,7 @@ func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
 				hi := min(lo+sweepChunkSize, len(cfg.Users))
 				grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 				for _, u := range cfg.Users[lo:hi] {
-					sweepUser(cfg, schedules, rep, u, grid)
+					sweepUser(cfg, schedules, bitmaps, rep, u, grid, &scratch)
 				}
 				chunkGrids[ci] = grid
 			}
@@ -303,53 +309,94 @@ func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
 	return grid
 }
 
+// sweepScratch holds one worker's reusable buffers: the incrementally grown
+// availability bitmap, the per-user demand bitmap, the received-activity
+// minutes, and the delay calculator's gap/distance matrices. Reusing it
+// across users removes every per-user metric allocation from the sweep hot
+// path.
+type sweepScratch struct {
+	avail      interval.Bitmap
+	demand     interval.Bitmap
+	actMinutes []int
+	delay      metrics.DelayCalc
+}
+
 // sweepUser evaluates every policy and every replication degree for one
-// user, accumulating into grid.
-func sweepUser(cfg Config, schedules []interval.Set, rep int, u socialgraph.UserID, grid [][]Cell) {
+// user, accumulating into grid. All interval arithmetic runs on the dense
+// bitmap representation; results are bit-identical to the sorted-interval
+// path it replaced (same integer measures, same float divisions). Inputs a
+// policy declares it will ignore (replica.Traits) are not prepared: only
+// MostActive pays for the interaction counts, only randomized policies pay
+// for RNG seeding, and only MaxAv(activity) pays for the demand set.
+func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
 	ds := cfg.Dataset
 	friends := ds.Graph.Neighbors(u)
 	received := ds.ReceivedBy(u)
-	counts := ds.InteractionCounts(u)
+
+	var needCounts, needDemand bool
+	for _, p := range cfg.Policies {
+		t := replica.TraitsOf(p)
+		needCounts = needCounts || t.UsesInteractions
+		needDemand = needDemand || t.UsesDemand
+	}
 
 	// Demand set: union of the friends' online times (AoD-time denominator).
-	friendSets := make([]interval.Set, 0, len(friends))
+	scratch.demand.Clear()
 	for _, f := range friends {
-		if int(f) < len(schedules) {
-			friendSets = append(friendSets, schedules[f])
+		if int(f) < len(bitmaps) {
+			scratch.demand.OrWith(&bitmaps[f])
 		}
 	}
-	demand := interval.UnionAll(friendSets...)
+	demandLen := scratch.demand.Minutes()
+
+	// Minutes-of-day of the received activities, computed once per user
+	// instead of once per (policy, degree) membership scan.
+	scratch.actMinutes = scratch.actMinutes[:0]
+	for _, a := range received {
+		scratch.actMinutes = append(scratch.actMinutes, a.MinuteOfDay())
+	}
 
 	in := replica.Input{
-		Owner:             u,
-		Candidates:        friends,
-		Schedules:         schedules,
-		InteractionCounts: counts,
-		Demand:            ActivityMinutes(received),
-		Mode:              cfg.Mode,
-		Budget:            cfg.MaxDegree,
+		Owner:      u,
+		Candidates: friends,
+		Schedules:  schedules,
+		Bitmaps:    bitmaps,
+		Mode:       cfg.Mode,
+		Budget:     cfg.MaxDegree,
+	}
+	if needCounts {
+		in.InteractionCounts = ds.InteractionCounts(u)
+	}
+	if needDemand {
+		in.Demand = ActivityMinutes(received)
 	}
 	for pi, p := range cfg.Policies {
-		rng := rand.New(rand.NewSource(mix(cfg.Seed, int64(rep), int64(pi), int64(u))))
+		var rng *rand.Rand
+		if replica.TraitsOf(p).UsesRNG {
+			rng = rand.New(rand.NewSource(mix(cfg.Seed, int64(rep), int64(pi), int64(u))))
+		}
 		seq := p.Select(in, rng)
-		avail := schedules[u] // degree 0: only the owner stores the profile
+		// Pairwise node gaps for the whole selection, computed once; each
+		// degree's delay is the shortest-path diameter over a prefix.
+		scratch.delay.Init(u, seq, bitmaps)
+		scratch.avail.CopyFrom(&bitmaps[u]) // degree 0: only the owner stores the profile
 		for r := 0; r <= cfg.MaxDegree; r++ {
 			k := r
 			if k > len(seq) {
 				k = len(seq)
 			}
 			if r > 0 && k == r { // grow the availability set incrementally
-				avail = avail.Union(schedules[seq[k-1]])
+				scratch.avail.OrWith(&bitmaps[seq[k-1]])
 			}
 			cell := &grid[pi][r]
-			cell.Availability.Add(avail.Fraction())
-			if !demand.IsEmpty() {
-				cell.AoDTime.Add(float64(avail.OverlapLen(demand)) / float64(demand.Len()))
+			cell.Availability.Add(scratch.avail.Fraction())
+			if demandLen > 0 {
+				cell.AoDTime.Add(float64(scratch.avail.OverlapMinutes(&scratch.demand)) / float64(demandLen))
 			}
-			if v, ok := metrics.AvailabilityOnDemandActivity(avail, received); ok {
+			if v, ok := metrics.AvailabilityOnDemandMinutes(&scratch.avail, scratch.actMinutes); ok {
 				cell.AoDActivity.Add(v)
 			}
-			cell.DelayHours.Add(metrics.UpdatePropagationDelay(u, seq[:k], schedules).Hours)
+			cell.DelayHours.Add(scratch.delay.Prefix(k).Hours)
 			cell.Effective.Add(float64(k))
 		}
 	}

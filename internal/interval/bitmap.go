@@ -1,0 +1,400 @@
+package interval
+
+import "math/bits"
+
+// This file implements the dense minute-set representation. The package
+// carries two interchangeable representations of the same abstraction — a
+// subset of the 1440 circular day minutes:
+//
+//   - Set: sorted disjoint intervals. Compact for sparse schedules (a
+//     FixedLength window is one interval), and the canonical, human-readable
+//     form every public API speaks.
+//   - Bitmap: one bit per minute in 23 uint64 words. Union, intersection,
+//     overlap measure and membership are O(BitmapWords) word operations with
+//     no allocation, independent of fragmentation.
+//
+// Decision rule: Set operations cost O(intervals) with allocation and
+// branching per interval; Bitmap operations cost a constant 23 words. The
+// crossover sits at roughly DenseCutover intervals per operand — below it
+// (single-window models, pairwise checks on compact sets) Set wins; above it
+// (Sporadic schedules with one window per activity, repeated unions in the
+// greedy set cover, per-degree metric accumulation) Bitmap wins. Hot loops
+// that evaluate many operations against the same operands should convert
+// once and stay dense; PreferBitmap encodes the per-operation heuristic.
+//
+// Conversions are lossless: s.Bitmap().Set() always equals s, and for any
+// bitmap b, b.Set().Bitmap() equals b, so callers can move a computation to
+// whichever representation wins without changing results.
+
+// BitmapWords is the number of 64-bit words that cover the day.
+const BitmapWords = (DayMinutes + 63) / 64
+
+// DenseCutover is the approximate interval count at which Bitmap operations
+// become cheaper than Set operations (see the representation notes above).
+const DenseCutover = 8
+
+// lastWordBits is the number of day minutes mapped into the final word;
+// lastWordMask keeps Bitmap operations from straying past minute 1439.
+const (
+	lastWordBits = DayMinutes - 64*(BitmapWords-1)
+	lastWordMask = uint64(1)<<lastWordBits - 1
+)
+
+// PreferBitmap reports whether an operation whose operands hold a combined
+// nIntervals intervals should run on the Bitmap representation. It is a
+// heuristic, not a contract: both representations produce identical results.
+func PreferBitmap(nIntervals int) bool { return nIntervals >= DenseCutover }
+
+// Bitmap is a dense, mutable minute set on the circular day: bit m%64 of
+// word m/64 is set exactly when minute m is in the set. The zero value is
+// the empty set. Unlike Set, a Bitmap is a fixed-size value (no heap
+// pointers), so hot paths can keep scratch bitmaps and reuse them across
+// iterations without allocating.
+type Bitmap struct {
+	w [BitmapWords]uint64
+}
+
+// BitmapFromSet converts a Set losslessly. The inverse is Bitmap.Set.
+func BitmapFromSet(s Set) Bitmap {
+	var b Bitmap
+	b.SetFrom(s)
+	return b
+}
+
+// Bitmap converts the set to its dense representation (see BitmapFromSet).
+func (s Set) Bitmap() Bitmap { return BitmapFromSet(s) }
+
+// BitmapsFromSets converts a schedule slice in one pass; index i of the
+// result is the dense form of sets[i]. Sweep engines call this once per
+// repetition and share the result read-only across workers.
+func BitmapsFromSets(sets []Set) []Bitmap {
+	out := make([]Bitmap, len(sets))
+	for i, s := range sets {
+		out[i].SetFrom(s)
+	}
+	return out
+}
+
+// Clear empties the bitmap in place.
+func (b *Bitmap) Clear() { b.w = [BitmapWords]uint64{} }
+
+// CopyFrom makes b an exact copy of o.
+func (b *Bitmap) CopyFrom(o *Bitmap) { b.w = o.w }
+
+// SetFrom replaces b's contents with the dense form of s, reusing b's
+// storage (no allocation).
+func (b *Bitmap) SetFrom(s Set) {
+	b.Clear()
+	for _, iv := range s.ivs {
+		b.setRange(iv.Start, iv.End)
+	}
+}
+
+// AddInterval sets the minutes of a (possibly wrapping, possibly
+// out-of-range) interval, canonicalized exactly like NewSet.
+func (b *Bitmap) AddInterval(iv Interval) {
+	length := iv.End - iv.Start
+	if length <= 0 {
+		return
+	}
+	if length >= DayMinutes {
+		b.setRange(0, DayMinutes)
+		return
+	}
+	s := mod(iv.Start)
+	e := s + length
+	if e <= DayMinutes {
+		b.setRange(s, e)
+		return
+	}
+	b.setRange(s, DayMinutes)
+	b.setRange(0, e-DayMinutes)
+}
+
+// setRange sets bits [start, end) with 0 <= start <= end <= DayMinutes.
+func (b *Bitmap) setRange(start, end int) {
+	if start >= end {
+		return
+	}
+	wi, we := start/64, (end-1)/64
+	lo := uint(start % 64)
+	hi := uint((end-1)%64) + 1
+	if wi == we {
+		b.w[wi] |= (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+		return
+	}
+	b.w[wi] |= ^uint64(0) << lo
+	for i := wi + 1; i < we; i++ {
+		b.w[i] = ^uint64(0)
+	}
+	b.w[we] |= ^uint64(0) >> (64 - hi)
+}
+
+// Set converts the bitmap back to the canonical interval representation.
+// The result is a normalized Set: runs of consecutive set minutes become
+// sorted, disjoint, non-adjacent intervals (a set touching both midnight
+// sides stays split, exactly as Set's normalize keeps it).
+func (b *Bitmap) Set() Set {
+	var ivs []Interval
+	start := -1 // start of the run of set minutes currently open, -1 if none
+	pos := 0    // minute index of bit 0 of the current word
+	for wi := 0; wi < BitmapWords; wi++ {
+		w := b.word(wi)
+		nbits := 64
+		if wi == BitmapWords-1 {
+			nbits = lastWordBits
+		}
+		idx := 0
+		for idx < nbits {
+			if start < 0 {
+				if w == 0 {
+					break // rest of the word is clear
+				}
+				tz := bits.TrailingZeros64(w)
+				idx += tz
+				w >>= uint(tz)
+				if idx >= nbits {
+					break
+				}
+				start = pos + idx
+				continue
+			}
+			ones := bits.TrailingZeros64(^w)
+			if ones == 0 { // the open run ended at this bit
+				ivs = append(ivs, Interval{Start: start, End: pos + idx})
+				start = -1
+				continue
+			}
+			if ones > nbits-idx {
+				ones = nbits - idx
+			}
+			idx += ones
+			w >>= uint(ones)
+			if idx < nbits { // run ended inside the word
+				ivs = append(ivs, Interval{Start: start, End: pos + idx})
+				start = -1
+			}
+		}
+		pos += nbits
+	}
+	if start >= 0 {
+		ivs = append(ivs, Interval{Start: start, End: DayMinutes})
+	}
+	return Set{ivs: ivs}
+}
+
+// word returns word i with the out-of-day bits of the final word masked off,
+// so iteration code never sees phantom minutes ≥ DayMinutes.
+func (b *Bitmap) word(i int) uint64 {
+	if i == BitmapWords-1 {
+		return b.w[i] & lastWordMask
+	}
+	return b.w[i]
+}
+
+// IsEmpty reports whether no minute is set.
+func (b *Bitmap) IsEmpty() bool {
+	for i := range b.w {
+		if b.word(i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Minutes returns the measure of the set in minutes (population count).
+func (b *Bitmap) Minutes() int {
+	n := 0
+	for i := range b.w {
+		n += bits.OnesCount64(b.word(i))
+	}
+	return n
+}
+
+// Fraction returns the measure as a fraction of the day, matching
+// Set.Fraction bit for bit.
+func (b *Bitmap) Fraction() float64 { return float64(b.Minutes()) / DayMinutes }
+
+// Contains reports whether minute m (reduced modulo the day) is set.
+func (b *Bitmap) Contains(m int) bool {
+	m = mod(m)
+	return b.w[m/64]&(1<<uint(m%64)) != 0
+}
+
+// Equal reports whether b and o contain exactly the same minutes.
+func (b *Bitmap) Equal(o *Bitmap) bool {
+	for i := range b.w {
+		if b.word(i) != o.word(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// OrWith unions o into b in place.
+func (b *Bitmap) OrWith(o *Bitmap) {
+	for i := range b.w {
+		b.w[i] |= o.w[i]
+	}
+}
+
+// AndWith intersects b with o in place.
+func (b *Bitmap) AndWith(o *Bitmap) {
+	for i := range b.w {
+		b.w[i] &= o.w[i]
+	}
+}
+
+// Union returns b ∪ o as a new bitmap.
+func (b *Bitmap) Union(o *Bitmap) Bitmap {
+	out := *b
+	out.OrWith(o)
+	return out
+}
+
+// Intersect returns b ∩ o as a new bitmap.
+func (b *Bitmap) Intersect(o *Bitmap) Bitmap {
+	out := *b
+	out.AndWith(o)
+	return out
+}
+
+// IntersectInto stores a ∩ b into dst (dst may alias either operand),
+// letting hot loops reuse one scratch bitmap for pairwise intersections.
+func (dst *Bitmap) IntersectInto(a, b *Bitmap) {
+	for i := range dst.w {
+		dst.w[i] = a.w[i] & b.w[i]
+	}
+}
+
+// Intersects reports whether b and o share at least one minute, with
+// early-exit per word (the dense analogue of Set.Overlaps).
+func (b *Bitmap) Intersects(o *Bitmap) bool {
+	for i := range b.w {
+		if b.word(i)&o.word(i) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OverlapMinutes returns |b ∩ o| without materializing the intersection —
+// the dense analogue of Set.OverlapLen.
+func (b *Bitmap) OverlapMinutes(o *Bitmap) int {
+	n := 0
+	for i := range b.w {
+		n += bits.OnesCount64(b.word(i) & o.word(i))
+	}
+	return n
+}
+
+// MinutesInNotIn returns |b ∩ universe \ covered| in one fused pass: the
+// greedy set cover's marginal gain restricted to a universe (MaxAv's
+// on-demand-activity objective). The unrestricted gain |b \ covered| needs
+// no dedicated operation — it is Minutes(b) − OverlapMinutes(b, covered),
+// which MaxAv computes from its cached candidate sizes.
+func (b *Bitmap) MinutesInNotIn(universe, covered *Bitmap) int {
+	n := 0
+	for i := range b.w {
+		n += bits.OnesCount64(b.word(i) & universe.w[i] &^ covered.w[i])
+	}
+	return n
+}
+
+// OnesInRange counts the set minutes inside the circular window of the given
+// length starting at start (start is reduced modulo the day; a length ≥
+// DayMinutes covers the whole day). It equals OverlapLen against
+// Window(start, length) without building the window.
+func (b *Bitmap) OnesInRange(start, length int) int {
+	if length <= 0 {
+		return 0
+	}
+	if length >= DayMinutes {
+		return b.Minutes()
+	}
+	s := mod(start)
+	e := s + length
+	if e <= DayMinutes {
+		return b.countRange(s, e)
+	}
+	return b.countRange(s, DayMinutes) + b.countRange(0, e-DayMinutes)
+}
+
+// countRange counts set bits in [start, end) with 0 <= start <= end <= DayMinutes.
+func (b *Bitmap) countRange(start, end int) int {
+	if start >= end {
+		return 0
+	}
+	wi, we := start/64, (end-1)/64
+	lo := uint(start % 64)
+	hi := uint((end-1)%64) + 1
+	if wi == we {
+		return bits.OnesCount64(b.word(wi) & (^uint64(0) << lo) & (^uint64(0) >> (64 - hi)))
+	}
+	n := bits.OnesCount64(b.word(wi) & (^uint64(0) << lo))
+	for i := wi + 1; i < we; i++ {
+		n += bits.OnesCount64(b.word(i))
+	}
+	return n + bits.OnesCount64(b.word(we)&(^uint64(0)>>(64-hi)))
+}
+
+// MaxGap returns the longest circular run of minutes not in the set — the
+// same quantity as Set.MaxGap, computed by scanning words for zero runs. ok
+// is false when the set is empty; a full-day set has gap 0.
+func (b *Bitmap) MaxGap() (gap int, ok bool) {
+	maxRun, run := 0, 0
+	leading := -1 // zero run before the first set bit, for the circular wrap
+	for wi := 0; wi < BitmapWords; wi++ {
+		w := b.word(wi)
+		nbits := 64
+		if wi == BitmapWords-1 {
+			nbits = lastWordBits
+		}
+		if w == 0 {
+			run += nbits
+			continue
+		}
+		idx := 0
+		for idx < nbits {
+			if w == 0 { // only zeros remain in this word
+				run += nbits - idx
+				break
+			}
+			if tz := bits.TrailingZeros64(w); tz > 0 {
+				step := tz
+				if step > nbits-idx {
+					step = nbits - idx
+				}
+				run += step
+				w >>= uint(step)
+				idx += step
+				continue
+			}
+			// A run of set bits begins: close the current zero run.
+			if leading < 0 {
+				leading = run
+			}
+			if run > maxRun {
+				maxRun = run
+			}
+			run = 0
+			ones := bits.TrailingZeros64(^w)
+			if ones > nbits-idx {
+				ones = nbits - idx
+			}
+			w >>= uint(ones)
+			idx += ones
+		}
+	}
+	if leading < 0 {
+		return 0, false // no set bit anywhere: empty set
+	}
+	// The trailing zero run wraps around midnight into the leading one.
+	if wrap := run + leading; wrap > maxRun {
+		maxRun = wrap
+	}
+	return maxRun, true
+}
+
+// String renders the bitmap in the same interval notation as Set.String.
+func (b *Bitmap) String() string { return b.Set().String() }

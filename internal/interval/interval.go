@@ -8,6 +8,13 @@
 // is circular: an interval may wrap past midnight, and gap computations are
 // cyclic. Sets are immutable after construction; all operations return new
 // sets. The zero value of Set is the empty set and is ready to use.
+//
+// The package carries two interchangeable representations: Set, the sparse
+// sorted-interval form every public API speaks, and Bitmap, a dense 23-word
+// bit-per-minute form whose union/intersection/overlap/max-gap operations run
+// in O(BitmapWords) with no allocation. Conversions are lossless in both
+// directions and both representations produce bit-identical measures; see the
+// representation notes in bitmap.go and PreferBitmap for when each wins.
 package interval
 
 import (

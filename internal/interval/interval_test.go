@@ -73,6 +73,55 @@ func TestWindowCentered(t *testing.T) {
 	}
 }
 
+// TestWindowNegativeStartEdges exercises starts far below zero: modular
+// reduction must land every window on the same minutes as its in-range
+// equivalent, no matter how many days below zero the start sits.
+func TestWindowNegativeStartEdges(t *testing.T) {
+	for _, start := range []int{-1, -DayMinutes, -DayMinutes - 1, -3*DayMinutes + 17} {
+		got := Window(start, 60)
+		want := Window(mod(start), 60)
+		if !got.Equal(want) {
+			t.Errorf("Window(%d,60) = %v, want %v", start, got, want)
+		}
+		if got.Len() != 60 {
+			t.Errorf("Window(%d,60).Len() = %d, want 60", start, got.Len())
+		}
+	}
+	// A negative start with a window long enough to wrap keeps full length.
+	if got := Window(-30, 90); got.Len() != 90 || !got.Contains(0) || !got.Contains(1439) || got.Contains(60) {
+		t.Errorf("Window(-30,90) = %v", got)
+	}
+}
+
+// TestWindowCenteredOddLength pins the odd-length convention: the window is
+// [center−length/2, center−length/2+length) with integer division, so the
+// extra minute falls after the center.
+func TestWindowCenteredOddLength(t *testing.T) {
+	s := WindowCentered(720, 121)
+	if got, want := s.String(), "[660,781)"; got != want {
+		t.Errorf("WindowCentered(720,121) = %s, want %s", got, want)
+	}
+	if s.Len() != 121 {
+		t.Errorf("Len() = %d, want 121", s.Len())
+	}
+	one := WindowCentered(100, 1) // length 1: exactly the center minute
+	if got, want := one.String(), "[100,101)"; got != want {
+		t.Errorf("WindowCentered(100,1) = %s, want %s", got, want)
+	}
+	// Odd length centered near midnight wraps and keeps its full measure.
+	wrapOdd := WindowCentered(0, 61)
+	if wrapOdd.Len() != 61 || !wrapOdd.Contains(0) || !wrapOdd.Contains(-30) || !wrapOdd.Contains(30) || wrapOdd.Contains(31) {
+		t.Errorf("WindowCentered(0,61) = %v", wrapOdd)
+	}
+	// Negative center reduces modulo the day like Window's start does.
+	if got, want := WindowCentered(-720, 120), WindowCentered(720, 120); !got.Equal(want) {
+		t.Errorf("WindowCentered(-720,120) = %v, want %v", got, want)
+	}
+	if got := WindowCentered(300, -7); !got.IsEmpty() {
+		t.Errorf("WindowCentered(300,-7) = %v, want empty", got)
+	}
+}
+
 func TestContains(t *testing.T) {
 	s := NewSet(Interval{60, 120}, Interval{600, 660})
 	tests := []struct {

@@ -74,6 +74,24 @@ func AvailabilityOnDemandActivity(avail interval.Set, received []trace.Activity)
 	return float64(hit) / float64(len(received)), true
 }
 
+// AvailabilityOnDemandMinutes is AvailabilityOnDemandActivity over the dense
+// availability representation and pre-extracted activity minutes-of-day:
+// each membership test is one bit probe instead of a binary search, and the
+// time-of-day arithmetic is paid once per user rather than once per degree.
+// The sweep engine calls it once per (policy, degree).
+func AvailabilityOnDemandMinutes(avail *interval.Bitmap, minutes []int) (v float64, ok bool) {
+	if len(minutes) == 0 {
+		return 0, false
+	}
+	hit := 0
+	for _, m := range minutes {
+		if avail.Contains(m) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(minutes)), true
+}
+
 // DelayResult reports the update-propagation-delay metric (§II-C3).
 type DelayResult struct {
 	// Hours is the worst-case update propagation delay: the weighted
@@ -96,62 +114,150 @@ type DelayResult struct {
 // time-overlapping nodes with weight equal to the maximum circular gap
 // between their common online minutes; updates follow shortest paths; and
 // the metric is the largest shortest-path weight over all node pairs.
+//
+// It is a convenience wrapper over DelayCalc with one-shot scratch; sweep
+// loops that evaluate many prefixes of one selection should hold a DelayCalc
+// and call Init once and Prefix per degree.
 func UpdatePropagationDelay(owner socialgraph.UserID, replicas []socialgraph.UserID, schedules []interval.Set) DelayResult {
-	nodes := make([]interval.Set, 0, len(replicas)+1)
-	nodes = append(nodes, scheduleOf(schedules, owner))
-	for _, r := range replicas {
-		nodes = append(nodes, scheduleOf(schedules, r))
+	var dc DelayCalc
+	dc.initSize(len(replicas) + 1)
+	dc.nodes[0].SetFrom(scheduleOf(schedules, owner))
+	for i, r := range replicas {
+		dc.nodes[i+1].SetFrom(scheduleOf(schedules, r))
 	}
-	n := len(nodes)
+	return dc.Prefix(len(replicas))
+}
+
+// delayInf marks an unreachable node pair; it matches the previous
+// Floyd–Warshall implementation's sentinel so sums never overflow.
+const delayInf = math.MaxInt32
+
+// DelayCalc computes update-propagation delays over dense schedules with
+// reusable scratch. Init loads a full selection once; Prefix(k) then answers
+// the metric for the owner plus the first k replicas by growing an exact
+// all-pairs-shortest-path solution one node at a time (O(n²) per added node:
+// edge weights from one word-wise AND plus a cyclic gap scan each, then a
+// relax-through-the-new-node pass). A sweep that asks for every prefix of an
+// 11-node selection therefore does O(n³) integer work total, not O(n⁴) as
+// the per-degree Floyd–Warshall recomputation it replaces — with answers
+// equal bit for bit, since both compute exact shortest paths. The zero value
+// is ready; scratch grows to the largest selection seen.
+type DelayCalc struct {
+	nodes  []interval.Bitmap // owner + selection, dense schedules
+	dist   []int             // row-major APSP over the first solved nodes
+	wrow   []int             // edge weights of the node being added
+	stride int               // row stride of dist (max selection size seen)
+	n      int               // nodes loaded by Init
+	solved int               // APSP is exact for the first solved nodes
+}
+
+// initSize prepares scratch for n nodes and resets the solved region.
+func (dc *DelayCalc) initSize(n int) {
+	if dc.stride < n {
+		dc.stride = n
+		dc.dist = make([]int, n*n)
+		dc.wrow = make([]int, n)
+	}
+	if cap(dc.nodes) < n {
+		dc.nodes = make([]interval.Bitmap, n)
+	}
+	dc.nodes = dc.nodes[:n]
+	dc.n = n
+	dc.solved = 1
+	dc.dist[0] = 0
+}
+
+// Init prepares the calculator for the selection {owner} ∪ seq, reading
+// dense schedules from bitmaps (indexed by UserID; out-of-range IDs are
+// treated as never online, matching scheduleOf).
+func (dc *DelayCalc) Init(owner socialgraph.UserID, seq []socialgraph.UserID, bitmaps []interval.Bitmap) {
+	dc.initSize(len(seq) + 1)
+	at := func(i int, u socialgraph.UserID) {
+		if u < 0 || int(u) >= len(bitmaps) {
+			dc.nodes[i].Clear()
+			return
+		}
+		dc.nodes[i].CopyFrom(&bitmaps[u])
+	}
+	at(0, owner)
+	for i, r := range seq {
+		at(i+1, r)
+	}
+}
+
+// addNode extends the exact APSP solution from m to m+1 nodes. Any path to
+// the new node m decomposes into a shortest path within the old node set
+// plus one final edge, and any improved old-pair path must pass through m,
+// so two O(m²) passes keep the solution exact.
+func (dc *DelayCalc) addNode() {
+	m, st := dc.solved, dc.stride
+	var common interval.Bitmap
+	for j := 0; j < m; j++ {
+		common.IntersectInto(&dc.nodes[j], &dc.nodes[m])
+		w := delayInf
+		if gap, ok := common.MaxGap(); ok {
+			w = gap
+		}
+		dc.wrow[j] = w
+	}
+	for i := 0; i < m; i++ {
+		best := dc.wrow[i] // the direct edge (dist[i][i] = 0)
+		for j := 0; j < m; j++ {
+			if dij, w := dc.dist[i*st+j], dc.wrow[j]; dij < delayInf && w < delayInf {
+				if c := dij + w; c < best {
+					best = c
+				}
+			}
+		}
+		dc.dist[i*st+m], dc.dist[m*st+i] = best, best
+	}
+	dc.dist[m*st+m] = 0
+	for i := 0; i < m; i++ {
+		dim := dc.dist[i*st+m]
+		if dim == delayInf {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			if dmj := dc.dist[m*st+j]; dmj < delayInf {
+				if c := dim + dmj; c < dc.dist[i*st+j] {
+					dc.dist[i*st+j] = c
+				}
+			}
+		}
+	}
+	dc.solved = m + 1
+}
+
+// Prefix returns the update-propagation-delay metric for the owner plus the
+// first k replicas of the initialized selection. It is bit-identical to
+// calling UpdatePropagationDelay on that prefix. Nondecreasing k across
+// calls (the degree sweep's access pattern) reuses all prior work; a smaller
+// k restarts the incremental solution.
+func (dc *DelayCalc) Prefix(k int) DelayResult {
+	n := k + 1
+	if n > dc.n {
+		n = dc.n
+	}
 	res := DelayResult{Connected: true, Nodes: n}
 	if n < 2 {
 		return res
 	}
-
-	const inf = math.MaxInt32
-	dist := make([][]int, n)
-	for i := range dist {
-		dist[i] = make([]int, n)
-		for j := range dist[i] {
-			if i != j {
-				dist[i][j] = inf
-			}
-		}
+	if n < dc.solved { // shrinking prefix: restart the incremental build
+		dc.solved = 1
+		dc.dist[0] = 0
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			common := nodes[i].Intersect(nodes[j])
-			if common.IsEmpty() {
-				continue
-			}
-			gap, _ := common.MaxGap()
-			dist[i][j], dist[j][i] = gap, gap
-		}
-	}
-	// Floyd–Warshall; n is at most a few dozen replicas.
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			if dist[i][k] == inf {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if dist[k][j] == inf {
-					continue
-				}
-				if d := dist[i][k] + dist[k][j]; d < dist[i][j] {
-					dist[i][j] = d
-				}
-			}
-		}
+	for dc.solved < n {
+		dc.addNode()
 	}
 	worst := 0
+	st := dc.stride
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			switch {
-			case dist[i][j] == inf:
+			case dc.dist[i*st+j] == delayInf:
 				res.Connected = false
-			case dist[i][j] > worst:
-				worst = dist[i][j]
+			case dc.dist[i*st+j] > worst:
+				worst = dc.dist[i*st+j]
 			}
 		}
 	}

@@ -280,3 +280,112 @@ func TestQuickDelayOrderInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDelayCalcMatchesOneShot checks the incremental prefix solver against
+// the one-shot UpdatePropagationDelay on random fragmented schedules for
+// every prefix, including repeated and shrinking prefix requests.
+func TestDelayCalcMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		schedules := make([]interval.Set, n)
+		for u := range schedules {
+			if rng.Intn(5) == 0 {
+				continue // empty: disconnected node
+			}
+			k := 1 + rng.Intn(5)
+			ivs := make([]interval.Interval, 0, k)
+			for i := 0; i < k; i++ {
+				start := rng.Intn(2*interval.DayMinutes) - interval.DayMinutes
+				length := 1 + rng.Intn(interval.DayMinutes/4)
+				ivs = append(ivs, interval.Interval{Start: start, End: start + length})
+			}
+			schedules[u] = interval.NewSet(ivs...)
+		}
+		owner := socialgraph.UserID(0)
+		seq := make([]socialgraph.UserID, 0, n-1)
+		for u := 1; u < n; u++ {
+			seq = append(seq, socialgraph.UserID(u))
+		}
+		bitmaps := interval.BitmapsFromSets(schedules)
+		var dc DelayCalc
+		dc.Init(owner, seq, bitmaps)
+		for k := 0; k <= len(seq); k++ {
+			want := UpdatePropagationDelay(owner, seq[:k], schedules)
+			got := dc.Prefix(k)
+			if got != want {
+				t.Fatalf("trial %d prefix %d: DelayCalc %+v vs one-shot %+v", trial, k, got, want)
+			}
+		}
+		// Repeated and shrinking prefixes must answer identically too.
+		for _, k := range []int{len(seq), 1, 1, len(seq) / 2, len(seq)} {
+			want := UpdatePropagationDelay(owner, seq[:k], schedules)
+			if got := dc.Prefix(k); got != want {
+				t.Fatalf("trial %d revisit prefix %d: %+v vs %+v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestDelayCalcScratchReuse reuses one DelayCalc across selections of
+// different sizes, as the sweep workers do.
+func TestDelayCalcScratchReuse(t *testing.T) {
+	schedules := []interval.Set{
+		0: interval.Window(0, 120),
+		1: interval.Window(60, 120),
+		2: interval.Window(600, 60),
+		3: interval.Window(100, 300),
+	}
+	bitmaps := interval.BitmapsFromSets(schedules)
+	var dc DelayCalc
+	for _, seq := range [][]socialgraph.UserID{
+		{1, 2, 3}, {3}, {2, 1}, {}, {1, 2},
+	} {
+		dc.Init(0, seq, bitmaps)
+		for k := 0; k <= len(seq); k++ {
+			want := UpdatePropagationDelay(0, seq[:k], schedules)
+			if got := dc.Prefix(k); got != want {
+				t.Fatalf("seq %v prefix %d: %+v vs %+v", seq, k, got, want)
+			}
+		}
+	}
+}
+
+// TestDelayCalcOutOfRangeIDs: IDs outside the bitmap slice behave like
+// never-online nodes, matching scheduleOf's tolerance.
+func TestDelayCalcOutOfRangeIDs(t *testing.T) {
+	schedules := []interval.Set{0: interval.FullDay(), 1: interval.Window(0, 60)}
+	bitmaps := interval.BitmapsFromSets(schedules)
+	var dc DelayCalc
+	dc.Init(0, []socialgraph.UserID{1, 99, -3}, bitmaps)
+	for k := 0; k <= 3; k++ {
+		want := UpdatePropagationDelay(0, []socialgraph.UserID{1, 99, -3}[:k], schedules)
+		if got := dc.Prefix(k); got != want {
+			t.Fatalf("prefix %d: %+v vs %+v", k, got, want)
+		}
+	}
+}
+
+// TestAvailabilityOnDemandMinutesAgrees checks the dense variant against the
+// Set-based metric.
+func TestAvailabilityOnDemandMinutesAgrees(t *testing.T) {
+	avail := interval.NewSet(interval.Interval{Start: 100, End: 200}, interval.Interval{Start: 1400, End: 1460})
+	bm := avail.Bitmap()
+	acts := []trace.Activity{
+		{At: trace.Epoch.Add(150 * time.Minute)},
+		{At: trace.Epoch.Add(500 * time.Minute)},
+		{At: trace.Epoch.Add(10 * time.Minute)},
+	}
+	minutes := make([]int, len(acts))
+	for i, a := range acts {
+		minutes[i] = a.MinuteOfDay()
+	}
+	want, wantOK := AvailabilityOnDemandActivity(avail, acts)
+	got, gotOK := AvailabilityOnDemandMinutes(&bm, minutes)
+	if want != got || wantOK != gotOK {
+		t.Fatalf("dense %v,%v vs sparse %v,%v", got, gotOK, want, wantOK)
+	}
+	if _, ok := AvailabilityOnDemandMinutes(&bm, nil); ok {
+		t.Error("no activities should report ok=false")
+	}
+}

@@ -76,12 +76,27 @@ func (s Sporadic) sessionMinutes() int {
 // ScheduleAll implements Model. A user with no created activities gets an
 // empty schedule (never online), mirroring the paper's observation that
 // online times must be inferred from activity.
+//
+// A user with one session window per activity is exactly the fragmented
+// shape interval.PreferBitmap exists for: past the cutover the windows are
+// accumulated densely and converted once, instead of sorting and merging a
+// per-activity interval list. Both paths yield the same normalized set, so
+// schedules — and everything derived from them — are unchanged.
 func (s Sporadic) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
 	sess := s.sessionMinutes()
 	out := make([]interval.Set, d.NumUsers())
 	for u := 0; u < d.NumUsers(); u++ {
 		acts := d.CreatedBy(socialgraph.UserID(u))
 		if len(acts) == 0 {
+			continue
+		}
+		if interval.PreferBitmap(len(acts)) {
+			var b interval.Bitmap
+			for _, a := range acts {
+				start := a.MinuteOfDay() - rng.Intn(sess)
+				b.AddInterval(interval.Interval{Start: start, End: start + sess})
+			}
+			out[u] = b.Set()
 			continue
 		}
 		windows := make([]interval.Interval, 0, len(acts))

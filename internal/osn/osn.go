@@ -83,7 +83,17 @@ type node struct {
 	id     NodeID
 	store  *store.Store
 	online bool
-	peers  []NodeID // nodes sharing at least one wall group, sorted
+	// sched is the node's dense daily schedule; pairwise contact and
+	// anti-entropy overlap questions are word-wise bitmap operations.
+	sched interval.Bitmap
+	// reach is sched with every session extended one minute past its end —
+	// the closure the contact-possibility pruning must test, because a
+	// session's half-open end instant still exists as an event time at which
+	// an abutting peer's session start can fire first (see NewNetwork).
+	reach interval.Bitmap
+	// schedLen caches sched.Minutes() for the per-day overlap accounting.
+	schedLen int
+	peers    []NodeID // co-online-capable nodes sharing a wall group, sorted
 	// outbox holds authored posts waiting for contact with a group member
 	// of the target wall.
 	outbox []store.Post
@@ -185,26 +195,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 
 	// Wall groups: every owner hosts his own wall; replicas host it too.
+	// Degenerate replica lists are normalized here, at the single entry
+	// point, so nothing downstream ever sees them.
 	owners := make([]NodeID, 0, len(cfg.Assignments))
 	for owner := range cfg.Assignments {
 		owners = append(owners, owner)
 	}
 	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
 	for _, owner := range owners {
-		if !inRange(owner) {
-			return nil, fmt.Errorf("%w: owner %d", ErrBadID, owner)
+		group, err := normalizeGroup(owner, cfg.Assignments[owner], inRange)
+		if err != nil {
+			return nil, err
 		}
-		group := []NodeID{owner}
-		for _, r := range cfg.Assignments[owner] {
-			if !inRange(r) {
-				return nil, fmt.Errorf("%w: replica %d", ErrBadID, r)
-			}
-			if r != owner {
-				group = append(group, r)
-			}
-		}
-		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
-		group = dedupIDs(group)
 		n.groups[owner] = group
 		for _, member := range group {
 			ensure(member).store.Host(store.NodeID(owner))
@@ -248,20 +250,68 @@ func NewNetwork(cfg Config) (*Network, error) {
 			}
 		}
 	}
-	for id, set := range peerSets {
-		peers := make([]NodeID, 0, len(set))
-		for p := range set {
-			peers = append(peers, p)
-		}
-		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
-		n.nodes[id].peers = peers
-	}
-
 	for id := range n.nodes {
 		n.nodeOrder = append(n.nodeOrder, id)
 	}
 	sort.Slice(n.nodeOrder, func(i, j int) bool { return n.nodeOrder[i] < n.nodeOrder[j] })
+	for _, id := range n.nodeOrder {
+		nd := n.nodes[id]
+		sched := n.schedule(id)
+		nd.sched.SetFrom(sched)
+		nd.schedLen = nd.sched.Minutes()
+		// Dilate each session one minute past its half-open end: a node's
+		// online flag is still true at its end instant until the offline
+		// event fires, and equal-time events run in insertion order, so a
+		// peer whose session *starts* exactly at this node's session end can
+		// observe it online and exchange. The closure keeps such abutting
+		// pairs meetable.
+		for _, iv := range sched.Intervals() {
+			nd.reach.AddInterval(interval.Interval{Start: iv.Start, End: iv.End + 1})
+		}
+	}
+	// Peer lists, pruned to pairs that can never be online simultaneously:
+	// sessions follow the day-cyclic schedules exactly, so two nodes whose
+	// dilated schedules are disjoint (≥1 minute apart everywhere, circularly)
+	// can never meet — not even through the end-instant artifact above — and
+	// keeping them as peers would only add dead checks to every session
+	// start and propagation round. Pruning on the dilated sets cannot change
+	// any measurement or random draw: a pruned pair never reaches exchange().
+	for id, set := range peerSets {
+		nd := n.nodes[id]
+		peers := make([]NodeID, 0, len(set))
+		for p := range set {
+			if nd.reach.Intersects(&n.nodes[p].reach) {
+				peers = append(peers, p)
+			}
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		nd.peers = peers
+	}
 	return n, nil
+}
+
+// normalizeGroup validates and canonicalizes one wall's replica group:
+// out-of-range IDs are rejected with ErrBadID, a replica entry naming the
+// owner is dropped (the owner always hosts his own wall — counting him
+// twice would inflate the group), duplicate hosts collapse to one, and the
+// result is sorted. Without this a degenerate Config.Assignments entry such
+// as {owner, r, r} would double-count the pair in every anti-entropy
+// exchange and in the delivery ledger's full-group accounting.
+func normalizeGroup(owner NodeID, replicas []NodeID, inRange func(NodeID) bool) ([]NodeID, error) {
+	if !inRange(owner) {
+		return nil, fmt.Errorf("%w: owner %d", ErrBadID, owner)
+	}
+	group := []NodeID{owner}
+	for _, r := range replicas {
+		if !inRange(r) {
+			return nil, fmt.Errorf("%w: replica %d for owner %d", ErrBadID, r, owner)
+		}
+		if r != owner {
+			group = append(group, r)
+		}
+	}
+	sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	return dedupIDs(group), nil
 }
 
 func dedupIDs(ids []NodeID) []NodeID {
@@ -594,19 +644,20 @@ func (n *Network) finalize() {
 }
 
 // onlineMinutesBetween counts the minutes node id is online in the absolute
-// simulated span [from, to).
+// simulated span [from, to). The partial-day remainder is a windowed
+// popcount over the node's dense schedule; no window set is materialized.
 func (n *Network) onlineMinutesBetween(id NodeID, from, to desim.Time) int64 {
-	if to <= from {
+	nd, ok := n.nodes[id]
+	if !ok || to <= from {
 		return 0
 	}
-	sched := n.schedule(id)
 	span := to - from
 	fullDays := span / interval.DayMinutes
-	total := fullDays * int64(sched.Len())
+	total := fullDays * int64(nd.schedLen)
 	rem := int(span % interval.DayMinutes)
 	if rem > 0 {
 		phase := int(from % interval.DayMinutes)
-		total += int64(sched.OverlapLen(interval.Window(phase, rem)))
+		total += int64(nd.sched.OnesInRange(phase, rem))
 	}
 	return total
 }

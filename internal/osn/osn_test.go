@@ -2,6 +2,7 @@ package osn
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"dosn/internal/interval"
@@ -375,5 +376,134 @@ func TestTimeline(t *testing.T) {
 	}
 	if got := net.Timeline(2, 1); len(got) != 1 {
 		t.Errorf("limit should cap items, got %d", len(got))
+	}
+}
+
+// TestDegenerateAssignmentsNormalized is the regression test for the
+// config-normalization entry point: a replica list that names the owner or
+// repeats hosts must behave exactly like its clean equivalent — same group,
+// same exchange counts, same delivery ledger — rather than silently
+// inflating the replica group and double-counting anti-entropy contacts.
+func TestDegenerateAssignmentsNormalized(t *testing.T) {
+	posts := []PostEvent{
+		{At: 40, Creator: 3, Wall: 0, Body: "hi"},
+		{At: 1500, Creator: 3, Wall: 0, Body: "again"},
+	}
+	clean := threeNodeConfig(posts)
+
+	degenerate := threeNodeConfig(posts)
+	degenerate.Assignments = map[NodeID][]NodeID{0: {0, 1, 1, 2, 2, 0, 1}}
+
+	cleanNet, err := NewNetwork(clean)
+	if err != nil {
+		t.Fatalf("NewNetwork(clean): %v", err)
+	}
+	degNet, err := NewNetwork(degenerate)
+	if err != nil {
+		t.Fatalf("NewNetwork(degenerate): %v", err)
+	}
+
+	wantGroup := []NodeID{0, 1, 2}
+	if got := degNet.Group(0); !reflect.DeepEqual(got, wantGroup) {
+		t.Fatalf("degenerate Group(0) = %v, want %v", got, wantGroup)
+	}
+
+	cleanRes := cleanNet.Run()
+	degRes := degNet.Run()
+	if !reflect.DeepEqual(cleanRes, degRes) {
+		t.Errorf("degenerate assignments changed the run:\nclean:      %+v\ndegenerate: %+v", cleanRes, degRes)
+	}
+	if degRes.Exchanges != cleanRes.Exchanges {
+		t.Errorf("Exchanges = %d, want %d (double-counted contacts)", degRes.Exchanges, cleanRes.Exchanges)
+	}
+}
+
+// TestDegenerateAssignmentsBadIDs checks that normalization still rejects
+// out-of-range owners and replicas with ErrBadID.
+func TestDegenerateAssignmentsBadIDs(t *testing.T) {
+	cfg := threeNodeConfig(nil)
+	cfg.Assignments = map[NodeID][]NodeID{0: {1, -1}}
+	if _, err := NewNetwork(cfg); !errors.Is(err, ErrBadID) {
+		t.Errorf("negative replica: err = %v, want ErrBadID", err)
+	}
+	cfg.Assignments = map[NodeID][]NodeID{-2: {1}}
+	if _, err := NewNetwork(cfg); !errors.Is(err, ErrBadID) {
+		t.Errorf("negative owner: err = %v, want ErrBadID", err)
+	}
+}
+
+// TestPeerPruningKeepsMeasurements pins the contact-possibility pruning:
+// nodes with disjoint schedules are not peers (they can never meet), and
+// pruning leaves all measurements of an overlapping configuration intact.
+func TestPeerPruningKeepsMeasurements(t *testing.T) {
+	// Nodes 0 and 2 share wall 0's group but are never online together;
+	// node 1 overlaps both.
+	cfg := Config{
+		Schedules: []interval.Set{
+			0: interval.Window(0, 120),
+			1: interval.Window(60, 120),
+			2: interval.Window(150, 60),
+		},
+		Assignments: map[NodeID][]NodeID{0: {1, 2}},
+		Days:        2,
+		Posts:       []PostEvent{{At: 10, Creator: 0, Wall: 0, Body: "x"}},
+	}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if got := net.nodes[0].peers; !reflect.DeepEqual(got, []NodeID{1}) {
+		t.Fatalf("node 0 peers = %v, want [1] (2 never co-online)", got)
+	}
+	if got := net.nodes[1].peers; !reflect.DeepEqual(got, []NodeID{0, 2}) {
+		t.Fatalf("node 1 peers = %v, want [0 2]", got)
+	}
+	res := net.Run()
+	if res.DeliveredAll != 1 {
+		t.Fatalf("post should still reach the whole group through 1: %+v", res)
+	}
+}
+
+// TestPeerPruningKeepsAbuttingSessions pins the boundary-instant subtlety:
+// sessions [0,60) and [60,120) are disjoint as minute sets, but at t=60 the
+// lower-ID node's online event fires before the higher-ID node's offline
+// event, so the pair still exchanges. Pruning must therefore test the
+// one-minute-dilated schedules and keep abutting pairs.
+func TestPeerPruningKeepsAbuttingSessions(t *testing.T) {
+	cfg := Config{
+		Schedules: []interval.Set{
+			0: interval.Window(60, 120), // online event at 60 fires first (lower ID)
+			1: interval.Window(0, 60),   // offline event at 60 fires second
+		},
+		Assignments: map[NodeID][]NodeID{0: {1}},
+		Days:        2,
+		Posts:       []PostEvent{{At: 70, Creator: 0, Wall: 0, Body: "x"}},
+	}
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if got := net.nodes[0].peers; !reflect.DeepEqual(got, []NodeID{1}) {
+		t.Fatalf("node 0 peers = %v, want [1] (abutting sessions can meet)", got)
+	}
+	res := net.Run()
+	if res.Exchanges == 0 {
+		t.Error("abutting sessions should exchange at the shared boundary instant")
+	}
+
+	// A pair separated by a real gap (≥1 minute on both sides) stays pruned.
+	cfg.Schedules = []interval.Set{
+		0: interval.Window(62, 120),
+		1: interval.Window(0, 60),
+	}
+	net, err = NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork(gapped): %v", err)
+	}
+	if got := net.nodes[0].peers; len(got) != 0 {
+		t.Fatalf("node 0 peers = %v, want none (1-minute gap)", got)
+	}
+	if res := net.Run(); res.Exchanges != 0 {
+		t.Errorf("gapped sessions exchanged %d times", res.Exchanges)
 	}
 }

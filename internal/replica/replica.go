@@ -49,6 +49,12 @@ type Input struct {
 	Candidates []socialgraph.UserID
 	// Schedules holds the online-time set of every user, indexed by UserID.
 	Schedules []interval.Set
+	// Bitmaps optionally holds the dense form of Schedules (same indexing,
+	// e.g. from interval.BitmapsFromSets). When set, policies run their
+	// overlap arithmetic on O(words) bitmap operations instead of interval
+	// merges; results are bit-identical either way. Sweep engines populate it
+	// once per repetition and share it read-only across workers.
+	Bitmaps []interval.Bitmap
 	// InteractionCounts gives, per candidate, the number of activities the
 	// candidate created on the owner's profile. Only MostActive reads it.
 	InteractionCounts map[socialgraph.UserID]int
@@ -71,9 +77,31 @@ func (in Input) schedule(u socialgraph.UserID) interval.Set {
 	return in.Schedules[u]
 }
 
+// bitmap returns the precomputed dense schedule of u, or nil when the caller
+// did not supply Bitmaps (or u is out of range).
+func (in Input) bitmap(u socialgraph.UserID) *interval.Bitmap {
+	if in.Bitmaps == nil || u < 0 || int(u) >= len(in.Bitmaps) {
+		return nil
+	}
+	return &in.Bitmaps[u]
+}
+
 // connected reports whether candidate c is time-connected to the owner or to
-// any already chosen replica.
+// any already chosen replica. With precomputed bitmaps the pairwise checks
+// are word-wise AND scans; without them the sorted-interval sweep is used.
+// Both answer identically.
 func (in Input) connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
+	if cb := in.bitmap(c); cb != nil {
+		if ob := in.bitmap(in.Owner); ob != nil && cb.Intersects(ob) {
+			return true
+		}
+		for _, r := range chosen {
+			if rb := in.bitmap(r); rb != nil && cb.Intersects(rb) {
+				return true
+			}
+		}
+		return false
+	}
 	ot := in.schedule(c)
 	if ot.Overlaps(in.schedule(in.Owner)) {
 		return true
@@ -109,6 +137,37 @@ type Policy interface {
 	// The result may be shorter than the budget when the policy runs out of
 	// eligible or useful candidates (the paper notes this for ConRep).
 	Select(in Input, rng *rand.Rand) []socialgraph.UserID
+}
+
+// Traits declares which Input ingredients a policy actually consumes, so a
+// sweep engine can skip preparing the ones it will ignore (seeding an RNG
+// per user is a measurable fraction of a MaxAv sweep, and only MostActive
+// reads the interaction counts). Results never depend on traits — they only
+// gate work whose output the policy would discard.
+type Traits struct {
+	// UsesRNG is false for fully deterministic policies; Select may then
+	// receive a nil rng.
+	UsesRNG bool
+	// UsesInteractions reports whether Input.InteractionCounts is read.
+	UsesInteractions bool
+	// UsesDemand reports whether Input.Demand is read.
+	UsesDemand bool
+}
+
+// TraitedPolicy is optionally implemented by policies that can declare their
+// traits. Policies that do not implement it are assumed to consume
+// everything.
+type TraitedPolicy interface {
+	Traits() Traits
+}
+
+// TraitsOf returns the declared traits of p, or the conservative
+// everything-consumed default for policies that do not declare any.
+func TraitsOf(p Policy) Traits {
+	if tp, ok := p.(TraitedPolicy); ok {
+		return tp.Traits()
+	}
+	return Traits{UsesRNG: true, UsesInteractions: true, UsesDemand: true}
 }
 
 // Compile-time interface checks.
@@ -158,41 +217,91 @@ func (m MaxAv) Name() string {
 	return "MaxAv"
 }
 
-// Select implements Policy.
+// Traits implements TraitedPolicy: MaxAv is deterministic and ignores the
+// interaction counts; only the activity objective reads Demand.
+func (m MaxAv) Traits() Traits {
+	return Traits{UsesDemand: m.Objective == ObjectiveOnDemandActivity}
+}
+
+// Select implements Policy. The greedy loop runs entirely on the dense
+// bitmap representation: the covered set is one scratch bitmap, marginal
+// gains are fused popcounts (|OT_c \ covered|, restricted to the demand
+// universe for the activity objective), and each round's union is an
+// in-place word-wise OR. When Input.Bitmaps is absent the candidate
+// schedules are converted once up front; either way the chosen sequence is
+// bit-identical to the sorted-interval arithmetic this replaces.
 func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
 	chosen := make([]socialgraph.UserID, 0, in.Budget)
-	taken := make(map[socialgraph.UserID]bool, in.Budget)
-	covered := in.schedule(in.Owner) // the owner always hosts his profile
+	// taken is indexed by candidate position, not ID. A duplicate candidate
+	// entry would stay "eligible" after its twin is chosen, but its marginal
+	// gain is then 0 and gains must exceed 0 to be picked, so the selected
+	// sequence is identical to the ID-keyed map this replaces.
+	taken := make([]bool, len(in.Candidates))
 	restricted := m.Objective == ObjectiveOnDemandActivity
-	gainOf := func(ot interval.Set) int {
-		if restricted {
-			// Contribution inside the demand universe only.
-			useful := ot.Intersect(in.Demand)
-			return useful.Len() - covered.OverlapLen(useful)
-		}
-		return ot.Len() - covered.OverlapLen(ot)
+
+	// Dense candidate schedules: pointers into the shared precomputed slice
+	// when available, one local conversion per candidate otherwise. Sizes are
+	// cached so each greedy probe needs a single overlap popcount
+	// (gain = size − overlap).
+	cand := make([]*interval.Bitmap, len(in.Candidates))
+	size := make([]int, len(in.Candidates))
+	var local []interval.Bitmap
+	if in.Bitmaps == nil {
+		local = make([]interval.Bitmap, len(in.Candidates))
 	}
+	for i, c := range in.Candidates {
+		bm := in.bitmap(c)
+		if bm == nil {
+			local[i].SetFrom(in.schedule(c))
+			bm = &local[i]
+		}
+		cand[i] = bm
+		size[i] = bm.Minutes()
+	}
+
+	var covered interval.Bitmap // the owner always hosts his profile
+	if ob := in.bitmap(in.Owner); ob != nil {
+		covered.CopyFrom(ob)
+	} else {
+		covered.SetFrom(in.schedule(in.Owner))
+	}
+	var demand interval.Bitmap
+	if restricted {
+		demand.SetFrom(in.Demand)
+	}
+
 	for len(chosen) < in.Budget {
-		best := socialgraph.UserID(-1)
+		bestIdx := -1
 		bestGain := 0
 		bestOverlap := 0
-		for _, c := range in.eligible(chosen, taken) {
-			ot := in.schedule(c)
-			gain := gainOf(ot)
-			overlap := covered.OverlapLen(ot)
+		for i, c := range in.Candidates {
+			if taken[i] {
+				continue
+			}
+			if in.Mode == ConRep && !in.connected(c, chosen) {
+				continue
+			}
+			overlap := covered.OverlapMinutes(cand[i])
+			var gain int
+			if restricted {
+				// Contribution inside the demand universe only.
+				gain = cand[i].MinutesInNotIn(&demand, &covered)
+			} else {
+				gain = size[i] - overlap // |OT_c \ covered|
+			}
 			// Maximize marginal coverage; the paper words the tie-break as
 			// "least overlap with the current covered set"; candidate ID
 			// breaks remaining ties deterministically.
 			if gain > bestGain || (gain == bestGain && gain > 0 && overlap < bestOverlap) {
-				best, bestGain, bestOverlap = c, gain, overlap
+				bestIdx, bestGain, bestOverlap = i, gain, overlap
 			}
 		}
-		if best < 0 || bestGain == 0 {
+		if bestIdx < 0 || bestGain == 0 {
 			break // no improvement possible: stop, as the paper prescribes
 		}
-		chosen = append(chosen, best)
-		taken[best] = true
-		covered = covered.Union(in.schedule(best))
+		chosen = append(chosen, in.Candidates[bestIdx])
+		taken[bestIdx] = true
+		covered.OrWith(cand[bestIdx])
 	}
 	return chosen
 }
@@ -204,6 +313,9 @@ type MostActive struct{}
 
 // Name implements Policy.
 func (MostActive) Name() string { return "MostActive" }
+
+// Traits implements TraitedPolicy.
+func (MostActive) Traits() Traits { return Traits{UsesRNG: true, UsesInteractions: true} }
 
 // Select implements Policy.
 func (MostActive) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
@@ -254,6 +366,9 @@ type Random struct{}
 
 // Name implements Policy.
 func (Random) Name() string { return "Random" }
+
+// Traits implements TraitedPolicy.
+func (Random) Traits() Traits { return Traits{UsesRNG: true} }
 
 // Select implements Policy.
 func (Random) Select(in Input, rng *rand.Rand) []socialgraph.UserID {

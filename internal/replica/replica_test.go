@@ -360,3 +360,106 @@ func TestQuickSelectionWellFormed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// randomInput builds an Input with arbitrary fragmented (possibly wrapping,
+// possibly empty) schedules for equivalence checks.
+func randomInput(rng *rand.Rand, mode Mode) Input {
+	n := 2 + rng.Intn(14)
+	schedules := make([]interval.Set, n)
+	for u := range schedules {
+		if rng.Intn(6) == 0 {
+			continue // empty schedule
+		}
+		k := 1 + rng.Intn(6)
+		ivs := make([]interval.Interval, 0, k)
+		for i := 0; i < k; i++ {
+			start := rng.Intn(2*interval.DayMinutes) - interval.DayMinutes
+			length := 1 + rng.Intn(interval.DayMinutes/3)
+			ivs = append(ivs, interval.Interval{Start: start, End: start + length})
+		}
+		schedules[u] = interval.NewSet(ivs...)
+	}
+	candidates := make([]socialgraph.UserID, 0, n-1)
+	for u := 1; u < n; u++ {
+		candidates = append(candidates, socialgraph.UserID(u))
+	}
+	counts := make(map[socialgraph.UserID]int, len(candidates))
+	for _, c := range candidates {
+		counts[c] = rng.Intn(4)
+	}
+	demand := interval.Window(rng.Intn(interval.DayMinutes), rng.Intn(600))
+	return Input{
+		Owner:             0,
+		Candidates:        candidates,
+		Schedules:         schedules,
+		InteractionCounts: counts,
+		Demand:            demand,
+		Mode:              mode,
+		Budget:            1 + rng.Intn(6),
+	}
+}
+
+// TestPoliciesAgreeWithAndWithoutBitmaps pins the core determinism claim of
+// the dense engine: supplying Input.Bitmaps must never change any policy's
+// selection — same candidates, same order, same RNG consumption.
+func TestPoliciesAgreeWithAndWithoutBitmaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	policies := []Policy{
+		MaxAv{}, MaxAv{Objective: ObjectiveOnDemandActivity}, MostActive{}, Random{},
+	}
+	for i := 0; i < 250; i++ {
+		for _, mode := range []Mode{ConRep, UnconRep} {
+			in := randomInput(rng, mode)
+			dense := in
+			dense.Bitmaps = interval.BitmapsFromSets(in.Schedules)
+			for _, p := range policies {
+				seed := rng.Int63()
+				sparse := p.Select(in, rand.New(rand.NewSource(seed)))
+				got := p.Select(dense, rand.New(rand.NewSource(seed)))
+				if len(sparse) != len(got) {
+					t.Fatalf("%s/%v: dense len %d vs sparse %d", p.Name(), mode, len(got), len(sparse))
+				}
+				for j := range sparse {
+					if sparse[j] != got[j] {
+						t.Fatalf("%s/%v: dense %v vs sparse %v", p.Name(), mode, got, sparse)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaxAvIgnoresNilRNG pins the Traits contract: a policy that declares
+// UsesRNG=false must accept a nil rng.
+func TestMaxAvIgnoresNilRNG(t *testing.T) {
+	in := fixture(ConRep, 3)
+	got := MaxAv{}.Select(in, nil)
+	if len(got) == 0 {
+		t.Fatal("MaxAv selected nothing")
+	}
+	if tr := TraitsOf(MaxAv{}); tr.UsesRNG || tr.UsesInteractions || tr.UsesDemand {
+		t.Errorf("MaxAv traits = %+v", tr)
+	}
+	if tr := TraitsOf(MaxAv{Objective: ObjectiveOnDemandActivity}); !tr.UsesDemand {
+		t.Errorf("MaxAv(activity) traits = %+v", tr)
+	}
+	if tr := TraitsOf(MostActive{}); !tr.UsesRNG || !tr.UsesInteractions {
+		t.Errorf("MostActive traits = %+v", tr)
+	}
+	if tr := TraitsOf(Random{}); !tr.UsesRNG {
+		t.Errorf("Random traits = %+v", tr)
+	}
+}
+
+// anonPolicy implements Policy without declaring traits.
+type anonPolicy struct{}
+
+func (anonPolicy) Name() string                                  { return "anon" }
+func (anonPolicy) Select(Input, *rand.Rand) []socialgraph.UserID { return nil }
+
+func TestTraitsOfDefaultsConservative(t *testing.T) {
+	tr := TraitsOf(anonPolicy{})
+	if !tr.UsesRNG || !tr.UsesInteractions || !tr.UsesDemand {
+		t.Errorf("undeclared policy traits = %+v, want all true", tr)
+	}
+}

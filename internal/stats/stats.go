@@ -35,14 +35,30 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(ss / float64(len(xs)))
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
-// interpolation between closest ranks. It returns 0 for an empty slice.
+// Percentile returns the p-th percentile of xs using linear interpolation
+// between closest ranks. Its edge behavior is defined, not accidental:
+//
+//   - p is clamped to [0,100]; p < 0 yields the minimum and p > 100 the
+//     maximum. A NaN p has no defensible clamp and returns NaN.
+//   - NaN samples carry no rank information and are dropped before ranking
+//     (a NaN would otherwise poison sort.Float64s's ordering and return an
+//     arbitrary neighbor's value).
+//   - An empty slice — or one left empty after dropping NaNs — has no
+//     percentile; the result is NaN, which no real rank can produce, rather
+//     than a fabricated 0.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

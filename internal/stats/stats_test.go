@@ -35,8 +35,39 @@ func TestPercentile(t *testing.T) {
 			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
 		}
 	}
-	if Percentile(nil, 50) != 0 {
-		t.Error("empty percentile should be 0")
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+// TestPercentileEdgeGuards pins the defined edge behavior: clamped p, NaN p
+// rejected, NaN samples dropped, and empty/all-NaN inputs yielding NaN
+// instead of silent garbage.
+func TestPercentileEdgeGuards(t *testing.T) {
+	if !math.IsNaN(Percentile([]float64{1, 2, 3}, math.NaN())) {
+		t.Error("NaN p should yield NaN")
+	}
+	if !math.IsNaN(Percentile([]float64{math.NaN(), math.NaN()}, 50)) {
+		t.Error("all-NaN input should yield NaN")
+	}
+	// NaN samples are dropped: the percentile of {1, NaN, 3} is that of {1, 3}.
+	withNaN := []float64{1, math.NaN(), 3}
+	if got := Percentile(withNaN, 50); !almost(got, 2) {
+		t.Errorf("Percentile({1,NaN,3}, 50) = %v, want 2", got)
+	}
+	if got := Percentile(withNaN, 100); !almost(got, 3) {
+		t.Errorf("Percentile({1,NaN,3}, 100) = %v, want 3", got)
+	}
+	// The input slice must not be reordered or modified.
+	if !math.IsNaN(withNaN[1]) || withNaN[0] != 1 || withNaN[2] != 3 {
+		t.Errorf("input mutated: %v", withNaN)
+	}
+	// Out-of-range p clamps even with a single sample.
+	if got := Percentile([]float64{7}, -1e9); got != 7 {
+		t.Errorf("Percentile({7}, -1e9) = %v, want 7", got)
+	}
+	if got := Percentile([]float64{7}, 1e9); got != 7 {
+		t.Errorf("Percentile({7}, 1e9) = %v, want 7", got)
 	}
 }
 

@@ -95,8 +95,27 @@ func DefaultTwitterConfig(users int) SynthConfig {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. Every numeric knob is also checked
+// for NaN/Inf: a comparison like `MeanDegree <= 0` is silently false for
+// NaN, which would let a garbage config through to generation instead of
+// failing with a message.
 func (c SynthConfig) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeanDegree", c.MeanDegree},
+		{"SigmaDegree", c.SigmaDegree},
+		{"MeanActivities", c.MeanActivities},
+		{"SigmaActivities", c.SigmaActivities},
+		{"AffinityZipfS", c.AffinityZipfS},
+		{"DiurnalSigmaMinutes", c.DiurnalSigmaMinutes},
+		{"UniformFraction", c.UniformFraction},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("trace: config %s must be finite, got %v", f.name, f.v)
+		}
+	}
 	switch {
 	case c.Users <= 0:
 		return errors.New("trace: config needs Users > 0")
@@ -299,8 +318,11 @@ func (z *zipfSampler) rank(rng *rand.Rand, n int) int {
 	return lo
 }
 
-// MustSynthesize is Synthesize for tests and examples with known-good
-// configs; it panics on config errors.
+// MustSynthesize is Synthesize for tests with known-good, hard-coded
+// configs; it panics on config errors. Library code, commands and examples
+// must route through the error-returning Synthesize/SynthesizeCalibrated so
+// a bad config fails with a message instead of a panic — no non-test code
+// in this module calls MustSynthesize.
 func MustSynthesize(cfg SynthConfig) *Dataset {
 	d, err := Synthesize(cfg)
 	if err != nil {

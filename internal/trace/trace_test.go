@@ -246,6 +246,13 @@ func TestSynthesizeValidation(t *testing.T) {
 		{Users: 10, MeanDegree: 5, Days: 0},
 		{Users: 10, MeanDegree: 5, Days: 1, MeanActivities: -1},
 		{Users: 10, MeanDegree: 5, Days: 1, UniformFraction: 1.5},
+		// NaN/Inf knobs slip through plain comparisons (NaN <= 0 is false);
+		// Validate must reject them explicitly.
+		{Users: 10, MeanDegree: math.NaN(), Days: 1},
+		{Users: 10, MeanDegree: 5, Days: 1, SigmaDegree: math.NaN()},
+		{Users: 10, MeanDegree: math.Inf(1), Days: 1},
+		{Users: 10, MeanDegree: 5, Days: 1, UniformFraction: math.NaN()},
+		{Users: 10, MeanDegree: 5, Days: 1, DiurnalSigmaMinutes: math.Inf(-1)},
 	}
 	for i, cfg := range bad {
 		if _, err := Synthesize(cfg); err == nil {
