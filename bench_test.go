@@ -18,10 +18,12 @@ import (
 
 	"dosn"
 	"dosn/internal/core"
+	"dosn/internal/dht"
 	"dosn/internal/harness"
 	"dosn/internal/interval"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
+	"dosn/internal/socialgraph"
 )
 
 const (
@@ -503,6 +505,81 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 		"ns_per_cell":      nsPerCell,
 		"users":            float64(res.Users),
 		"maxav_avail_deg5": res.Value(0, 5, core.MetricAvailability),
+	})
+}
+
+// BenchmarkDHTLookup isolates the DHT routing hot path: ring construction
+// outside the timed loop, then greedy finger-table lookups from rotating
+// origins to rotating profile keys. ns/lookup and the mean hop count are
+// recorded into BENCH_matrix.json; cmd/benchguard holds the per-lookup cost
+// to within 2x of the committed baseline.
+func BenchmarkDHTLookup(b *testing.B) {
+	ring, err := dht.BuildRing(benchUsers, dht.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = ring.Key(socialgraph.UserID(i * 3 % benchUsers))
+	}
+	totalHops := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := socialgraph.UserID(i * 7 % benchUsers)
+		totalHops += ring.HopCount(from, keys[i%len(keys)])
+	}
+	b.StopTimer()
+	nsPerLookup := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	meanHops := float64(totalHops) / float64(b.N)
+	b.ReportMetric(meanHops, "hops/lookup")
+	recordMatrixBench(b, "DHTLookup", map[string]float64{
+		"ns_per_lookup": nsPerLookup,
+		"mean_hops":     meanHops,
+	})
+}
+
+// BenchmarkMatrixSweepSocialDHT mirrors BenchmarkMatrixSweepMaxAvConRep for
+// the most expensive DHT configuration: SocialDHT placement (successor
+// window ranking with social proximity + schedule overlap) under ConRep with
+// Sporadic schedules, dataset/ring/schedules prepared outside the timed
+// loop. It pins the cost of the architecture axis's hot path next to the
+// friend-replica sweep it is compared against.
+func BenchmarkMatrixSweepSocialDHT(b *testing.B) {
+	s := suite(b)
+	ds := s.Facebook
+	ring, err := dht.BuildRing(ds.NumUsers(), dht.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := onlinetime.Sporadic{}
+	schedules := onlinetime.Compute(model, ds, benchSeed)
+	cfg := core.Config{
+		Dataset:    ds,
+		Model:      model,
+		Mode:       replica.ConRep,
+		Policies:   []replica.Policy{&dht.Placement{Ring: ring, Social: true, Graph: ds.Graph}},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		Seed:       benchSeed,
+		Schedules:  [][]interval.Set{schedules},
+	}
+	var res *core.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(nsPerCell, "ns/cell")
+	b.ReportMetric(res.Value(0, 5, core.MetricAvailability), "socialdht_avail_deg5")
+	recordMatrixBench(b, "MatrixSweepSocialDHT", map[string]float64{
+		"ns_per_cell":          nsPerCell,
+		"users":                float64(res.Users),
+		"socialdht_avail_deg5": res.Value(0, 5, core.MetricAvailability),
 	})
 }
 

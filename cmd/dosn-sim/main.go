@@ -12,6 +12,7 @@
 //	dosn-sim -experiment objective     # A1: MaxAv objective ablation
 //	dosn-sim -experiment history       # A2: MostActive trained on history
 //	dosn-sim -experiment churn         # A3: availability under churn
+//	dosn-sim -experiment arch          # X6: friend-replica vs random/social DHT
 //	dosn-sim -scale paper -fig fig3a   # full paper-scale datasets (slower)
 //
 // The matrix subcommand runs the paper's whole experiment matrix — datasets ×
@@ -21,6 +22,7 @@
 //	dosn-sim matrix                                  # full matrix, JSON to stdout
 //	dosn-sim matrix -json run.json -csv run.csv      # write both artifacts
 //	dosn-sim matrix -datasets facebook -models sporadic,fixed8 -modes conrep
+//	dosn-sim matrix -arch friend,random,social       # storage-architecture axis
 //	dosn-sim matrix -seed 7 -workers 16              # same seed ⇒ same bytes, any -workers
 package main
 
@@ -47,7 +49,7 @@ func run() error {
 	}
 	var (
 		figID      = flag.String("fig", "", "figure to regenerate (fig2, fig3a, ..., fig11d), 'all', or 'list'")
-		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance")
+		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance | objective | history | churn | arch")
 		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933)")
 		outDir     = flag.String("out", "", "directory for gnuplot .dat files (default: print to stdout)")
 		ascii      = flag.Bool("ascii", true, "render ASCII charts to stdout")
@@ -246,7 +248,29 @@ func runExperiment(name string, fbUsers int, seed int64) error {
 			fmt.Println()
 		}
 		return nil
+	case "arch":
+		rows, err := dosn.RunArchComparison(dosn.ArchConfig{
+			Dataset: fb, MaxDegree: 5, Repeats: 3, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("X6 — storage-architecture comparison (ConRep, budget 5, Sporadic)")
+		fmt.Printf("  %-14s %-12s %10s %10s %10s %10s %10s %10s\n",
+			"architecture", "policy", "avail@5", "aod-t@5", "delay_h@5", "hops", "load_cv", "load_gini")
+		for _, r := range rows {
+			last := len(r.Sweep.Degrees) - 1
+			for pi, policy := range r.Sweep.Policies {
+				fmt.Printf("  %-14s %-12s %10.3f %10.3f %10.2f %10.2f %10.3f %10.3f\n",
+					r.Architecture, policy,
+					r.Sweep.Value(pi, last, dosn.MetricAvailability),
+					r.Sweep.Value(pi, last, dosn.MetricAoDTime),
+					r.Sweep.Value(pi, last, dosn.MetricDelayHours),
+					r.Lookup.MeanHops, r.LoadCV, r.LoadGini)
+			}
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (protocol|loadbalance|objective|history|churn)", name)
+		return fmt.Errorf("unknown experiment %q (protocol|loadbalance|objective|history|churn|arch)", name)
 	}
 }

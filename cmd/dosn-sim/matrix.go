@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dosn"
 	"dosn/internal/harness"
 )
 
@@ -23,6 +24,8 @@ func runMatrix(args []string) error {
 		datasets   = fs.String("datasets", "facebook,twitter", "comma-separated datasets (facebook|twitter)")
 		models     = fs.String("models", "sporadic,random,fixed2,fixed4,fixed6,fixed8", "comma-separated models (sporadic[:SECONDS]|random|fixedN)")
 		modes      = fs.String("modes", "conrep,unconrep", "comma-separated modes (conrep|unconrep)")
+		archs      = fs.String("arch", "", "comma-separated storage architectures (friend|random|social); default friend replication only")
+		ringBits   = fs.Int("ring-bits", 0, "DHT ring identifier width for random/social cells (0 = 32)")
 		policies   = fs.String("policies", "", "comma-separated policies (MaxAv|MaxAv(activity)|MostActive|Random); default the paper's three")
 		maxDegree  = fs.Int("max-degree", 10, "replication degree sweep bound")
 		userDegree = fs.Int("user-degree", 10, "user degree of the analysis population (0 = modal)")
@@ -49,14 +52,26 @@ func runMatrix(args []string) error {
 	if err != nil {
 		return err
 	}
+	spec.RingBits = *ringBits
+	for _, name := range splitList(*archs) {
+		arch, err := parseArchFlag(name)
+		if err != nil {
+			return err
+		}
+		spec.Architectures = append(spec.Architectures, arch)
+	}
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 
 	cells := spec.Cells()
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "matrix: %d cells (%d datasets × %d models × %d modes), repeats=%d, seed=%d\n",
-			len(cells), len(spec.Datasets), len(spec.Models), len(spec.Modes), spec.Repeats, spec.RootSeed)
+		narch := len(spec.Architectures)
+		if narch == 0 {
+			narch = 1
+		}
+		fmt.Fprintf(os.Stderr, "matrix: %d cells (%d datasets × %d models × %d modes × %d architectures), repeats=%d, seed=%d\n",
+			len(cells), len(spec.Datasets), len(spec.Models), len(spec.Modes), narch, spec.Repeats, spec.RootSeed)
 	}
 	start := time.Now()
 	opts := harness.RunOptions{Workers: *workers}
@@ -146,6 +161,20 @@ func buildMatrixSpec(scale, datasets, models, modes, policies string, maxDegree,
 	}
 	spec.Policies = splitList(policies)
 	return spec, nil
+}
+
+// parseArchFlag parses one -arch entry into the canonical architecture name.
+func parseArchFlag(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "friend", "friendreplica":
+		return dosn.ArchFriendReplica, nil
+	case "random", "randomdht":
+		return dosn.ArchRandomDHT, nil
+	case "social", "socialdht":
+		return dosn.ArchSocialDHT, nil
+	default:
+		return "", fmt.Errorf("unknown architecture %q (friend|random|social)", name)
+	}
 }
 
 // parseModelFlag parses one -models entry: "sporadic", "sporadic:600"

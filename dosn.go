@@ -30,7 +30,11 @@
 // the knobs and the calibration rationale).
 //
 // RunMatrix executes the paper's whole experiment matrix (datasets × models ×
-// modes) deterministically in one call; see MatrixSpec and PaperMatrix.
+// modes) deterministically in one call; see MatrixSpec and PaperMatrix. The
+// matrix has an optional fourth axis — the storage architecture — that puts
+// the paper's friend replication side by side with DHT-based placement
+// (RandomDHT, SocialDHT) on a deterministic Chord-style key ring; see
+// MatrixSpec.Architectures and RunArchComparison.
 package dosn
 
 import (
@@ -38,7 +42,9 @@ import (
 	"time"
 
 	"dosn/internal/core"
+	"dosn/internal/dht"
 	"dosn/internal/harness"
+	"dosn/internal/metrics"
 	"dosn/internal/onlinetime"
 	"dosn/internal/plot"
 	"dosn/internal/replica"
@@ -96,6 +102,26 @@ type (
 	RunManifest = harness.RunManifest
 	// MatrixCellResult is one cell's machine-readable sweep outcome.
 	MatrixCellResult = harness.CellResult
+	// ArchConfig parameterizes a storage-architecture comparison.
+	ArchConfig = core.ArchConfig
+	// ArchRow is one architecture's side of the comparison.
+	ArchRow = core.ArchRow
+	// RoutingStats summarizes DHT lookup hop counts.
+	RoutingStats = metrics.RoutingStats
+)
+
+// Storage-architecture names: the values of MatrixSpec.Architectures, the
+// `dosn-sim matrix -arch` flag and ArchConfig.Architectures.
+const (
+	// ArchFriendReplica replicates profiles on friends (the paper's
+	// architecture, driven by the classic policies).
+	ArchFriendReplica = dht.ArchFriendReplica
+	// ArchRandomDHT stores profiles on key-successor ring nodes
+	// (DECENT-style: placement independent of the social graph).
+	ArchRandomDHT = dht.ArchRandomDHT
+	// ArchSocialDHT re-ranks ring successor candidates by social proximity
+	// and schedule overlap before placing (Nasir-style).
+	ArchSocialDHT = dht.ArchSocialDHT
 )
 
 // Placement modes.
@@ -219,6 +245,16 @@ func PaperMatrix(users int) MatrixSpec { return harness.PaperMatrix(users) }
 // seed regardless of worker count or execution order.
 func RunMatrix(spec MatrixSpec, opts MatrixOptions) (*RunManifest, error) {
 	return harness.Run(spec, opts)
+}
+
+// RunArchComparison evaluates DOSN storage architectures head to head over
+// one dataset: friend replication (the paper's design) against RandomDHT and
+// SocialDHT placement on a deterministic Chord-style key ring. Every row
+// shares the same schedules and analysis population; beyond the paper's four
+// sweep metrics it reports lookup hop cost and per-node storage-load
+// imbalance — the two axes on which the architecture families differ.
+func RunArchComparison(cfg ArchConfig) ([]ArchRow, error) {
+	return core.RunArchComparison(cfg)
 }
 
 // RunProtocolValidation executes the discrete-event OSN runtime on a

@@ -165,6 +165,42 @@ func TestMatrixThroughFacade(t *testing.T) {
 	}
 }
 
+func TestArchComparisonThroughFacade(t *testing.T) {
+	ds := smallFacebook(t)
+	rows, err := RunArchComparison(ArchConfig{
+		Dataset:       ds,
+		Architectures: []string{ArchFriendReplica, ArchRandomDHT, ArchSocialDHT},
+		MaxDegree:     3,
+		Repeats:       1,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatalf("RunArchComparison: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[0].Architecture != ArchFriendReplica || rows[1].Lookup.Lookups == 0 {
+		t.Errorf("unexpected rows: %+v", rows)
+	}
+	spec := MatrixSpec{
+		Datasets:      []MatrixDataset{{Name: "facebook", Users: 300, Seed: 1}},
+		Models:        []MatrixModel{{Kind: "sporadic"}},
+		Modes:         []string{"ConRep"},
+		Architectures: []string{ArchRandomDHT},
+		MaxDegree:     3,
+		Repeats:       1,
+		RootSeed:      7,
+	}
+	m, err := RunMatrix(spec, MatrixOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunMatrix with architectures: %v", err)
+	}
+	if cell, ok := m.CellWithArch("facebook", "Sporadic", "ConRep", ArchRandomDHT); !ok || cell.Policies[0] != "RandomDHT" {
+		t.Errorf("DHT cell missing or mislabeled: %+v ok=%v", cell, ok)
+	}
+}
+
 // TestBadConfigsFailWithErrorsNotPanics pins the error routing of every
 // construction path a command or library user can reach: degenerate configs
 // must surface as errors with messages, never as trace.MustSynthesize-style

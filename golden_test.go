@@ -136,6 +136,8 @@ func goldenEntries() []goldenEntry {
 		goldenEntry{id: "matrix-facebook-sporadic-conrep", tol: tolFraction, gen: matrixCellFigure("facebook", "Sporadic", "ConRep", "availability")},
 		goldenEntry{id: "matrix-facebook-fixed2-unconrep", tol: tolFraction, gen: matrixCellFigure("facebook", "FixedLength(2h)", "UnconRep", "availability")},
 		goldenEntry{id: "matrix-twitter-sporadic-conrep-delay", tol: tolHours, gen: matrixCellFigure("twitter", "Sporadic", "ConRep", "delay_hours")},
+		goldenEntry{id: "matrix-facebook-sporadic-conrep-randomdht", tol: tolFraction, gen: matrixArchCellFigure("facebook", "Sporadic", "ConRep", dosn.ArchRandomDHT, "availability")},
+		goldenEntry{id: "matrix-twitter-sporadic-unconrep-socialdht", tol: tolFraction, gen: matrixArchCellFigure("twitter", "Sporadic", "UnconRep", dosn.ArchSocialDHT, "availability")},
 	)
 	return entries
 }
@@ -229,9 +231,17 @@ var (
 	goldenMatrixErr  error
 )
 
-// matrixCellFigure snapshots one cell of a harness run, pinning the matrix
-// seed derivation and the schedule cache alongside the engine itself.
+// matrixCellFigure snapshots one FriendReplica cell of a harness run,
+// pinning the matrix seed derivation and the schedule cache alongside the
+// engine itself. The run sweeps all three storage architectures; the
+// FriendReplica cells must stay byte-identical to the snapshots taken before
+// the architecture axis existed (the axis-compatibility guarantee), while
+// matrixArchCellFigure pins the DHT cells.
 func matrixCellFigure(dataset, model, mode, metricID string) func(t *testing.T) dosn.Figure {
+	return matrixArchCellFigure(dataset, model, mode, dosn.ArchFriendReplica, metricID)
+}
+
+func matrixArchCellFigure(dataset, model, mode, arch, metricID string) func(t *testing.T) dosn.Figure {
 	return func(t *testing.T) dosn.Figure {
 		goldenMatrixOnce.Do(func() {
 			spec := harness.MatrixSpec{
@@ -239,25 +249,34 @@ func matrixCellFigure(dataset, model, mode, metricID string) func(t *testing.T) 
 					{Name: "facebook", Users: 300, Seed: 1},
 					{Name: "twitter", Users: 300, Seed: 2},
 				},
-				Models:     []harness.ModelSpec{harness.Sporadic(), harness.FixedLength(2)},
-				Modes:      []string{"ConRep", "UnconRep"},
-				MaxDegree:  4,
-				UserDegree: 0, // modal degree at this scale
-				Repeats:    2,
-				RootSeed:   7,
+				Models:        []harness.ModelSpec{harness.Sporadic(), harness.FixedLength(2)},
+				Modes:         []string{"ConRep", "UnconRep"},
+				Architectures: []string{dosn.ArchFriendReplica, dosn.ArchRandomDHT, dosn.ArchSocialDHT},
+				MaxDegree:     4,
+				UserDegree:    0, // modal degree at this scale
+				Repeats:       2,
+				RootSeed:      7,
 			}
 			goldenMatrix, goldenMatrixErr = harness.Run(spec, harness.RunOptions{})
 		})
 		if goldenMatrixErr != nil {
 			t.Fatalf("matrix run: %v", goldenMatrixErr)
 		}
-		cell, ok := goldenMatrix.Cell(dataset, model, mode)
+		cell, ok := goldenMatrix.CellWithArch(dataset, model, mode, arch)
 		if !ok {
-			t.Fatalf("matrix cell %s/%s/%s missing", dataset, model, mode)
+			t.Fatalf("matrix cell %s/%s/%s/%s missing", dataset, model, mode, arch)
+		}
+		// FriendReplica keeps the pre-architecture-axis ID and title, so the
+		// original snapshots stay byte-identical.
+		figID := fmt.Sprintf("matrix-%s-%s-%s-%s", dataset, model, mode, metricID)
+		title := fmt.Sprintf("Matrix cell %s/%s/%s: %s", dataset, model, mode, metricID)
+		if arch != dosn.ArchFriendReplica {
+			figID = fmt.Sprintf("matrix-%s-%s-%s-%s-%s", dataset, model, mode, arch, metricID)
+			title = fmt.Sprintf("Matrix cell %s/%s/%s (%s): %s", dataset, model, mode, arch, metricID)
 		}
 		fig := dosn.Figure{
-			ID:     fmt.Sprintf("matrix-%s-%s-%s-%s", dataset, model, mode, metricID),
-			Title:  fmt.Sprintf("Matrix cell %s/%s/%s: %s", dataset, model, mode, metricID),
+			ID:     figID,
+			Title:  title,
 			XLabel: "replication degree",
 			YLabel: metricID,
 		}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dosn/internal/dht"
+	"dosn/internal/replica"
+	"dosn/internal/trace"
+)
+
+func archDataset(t *testing.T) *trace.Dataset {
+	t.Helper()
+	cfg := trace.DefaultFacebookConfig(400)
+	cfg.MeanDegree, cfg.SigmaDegree, cfg.Seed = 12, 0.6, 33
+	ds, err := trace.Synthesize(cfg)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return ds
+}
+
+func TestRunArchComparison(t *testing.T) {
+	ds := archDataset(t)
+	rows, err := RunArchComparison(ArchConfig{
+		Dataset:   ds,
+		MaxDegree: 4,
+		Repeats:   1,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatalf("RunArchComparison: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (all architectures by default)", len(rows))
+	}
+	byName := map[string]ArchRow{}
+	for _, r := range rows {
+		byName[r.Architecture] = r
+		if r.Sweep == nil || r.Sweep.Users == 0 {
+			t.Fatalf("architecture %s has no sweep result", r.Architecture)
+		}
+		if r.LoadMean <= 0 {
+			t.Errorf("architecture %s reports zero storage load", r.Architecture)
+		}
+	}
+	friend := byName[dht.ArchFriendReplica]
+	random := byName[dht.ArchRandomDHT]
+	social := byName[dht.ArchSocialDHT]
+
+	// Every row averages over the same analysis population.
+	if friend.Sweep.Users != random.Sweep.Users || random.Sweep.Users != social.Sweep.Users {
+		t.Errorf("analysis populations differ: %d/%d/%d",
+			friend.Sweep.Users, random.Sweep.Users, social.Sweep.Users)
+	}
+	// Friend replication pays no lookup hops; the DHT variants must.
+	if friend.Lookup.Lookups != 0 {
+		t.Errorf("FriendReplica reports %d lookups", friend.Lookup.Lookups)
+	}
+	if random.Lookup.Lookups == 0 || random.Lookup.MeanHops <= 0 {
+		t.Errorf("RandomDHT lookup stats empty: %+v", random.Lookup)
+	}
+	if social.Lookup != random.Lookup {
+		t.Errorf("DHT variants share the ring but report different lookup stats: %+v vs %+v",
+			social.Lookup, random.Lookup)
+	}
+	// Hash placement spreads storage more evenly than any social choice:
+	// RandomDHT's load skew must sit at or below FriendReplica's (MaxAv).
+	if random.LoadGini >= friend.LoadGini {
+		t.Errorf("RandomDHT load Gini %.3f not below FriendReplica's %.3f",
+			random.LoadGini, friend.LoadGini)
+	}
+	// And social re-ranking must actually change placement vs plain hashing.
+	rv := random.Sweep.Value(0, 4, MetricAvailability)
+	sv := social.Sweep.Value(0, 4, MetricAvailability)
+	fv := friend.Sweep.Value(0, 4, MetricAvailability)
+	if rv == sv && sv == fv {
+		t.Errorf("all architectures produced availability %v", fv)
+	}
+}
+
+func TestRunArchComparisonDeterministicAcrossWorkers(t *testing.T) {
+	ds := archDataset(t)
+	run := func(workers int) []ArchRow {
+		rows, err := RunArchComparison(ArchConfig{
+			Dataset:       ds,
+			Architectures: []string{dht.ArchRandomDHT, dht.ArchSocialDHT},
+			MaxDegree:     3,
+			Repeats:       2,
+			Seed:          7,
+			Workers:       workers,
+		})
+		if err != nil {
+			t.Fatalf("RunArchComparison(workers=%d): %v", workers, err)
+		}
+		return rows
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Error("architecture comparison depends on worker count")
+	}
+}
+
+func TestRunArchComparisonFriendRowMatchesPlainSweep(t *testing.T) {
+	// The FriendReplica row must reproduce core.Run bit for bit: the
+	// architecture comparison is a wrapper, not a different experiment.
+	ds := archDataset(t)
+	rows, err := RunArchComparison(ArchConfig{
+		Dataset:       ds,
+		Architectures: []string{dht.ArchFriendReplica},
+		MaxDegree:     3,
+		Repeats:       2,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(Config{Dataset: ds, MaxDegree: 3, Repeats: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows[0].Sweep, want) {
+		t.Error("FriendReplica row differs from a plain core.Run with the same seed")
+	}
+}
+
+func TestRunArchComparisonValidation(t *testing.T) {
+	if _, err := RunArchComparison(ArchConfig{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := archDataset(t)
+	if _, err := RunArchComparison(ArchConfig{Dataset: ds, Architectures: []string{"Gossip"}}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	if _, err := RunArchComparison(ArchConfig{Dataset: ds, RingBits: 2}); err == nil {
+		t.Error("bad ring bits accepted")
+	}
+}
+
+// TestDHTPoliciesThroughEngine drives the DHT placements through core.Run
+// directly, pinning that the engine's trait gating, prefix sweep and metric
+// accumulation work for ring-sourced candidates.
+func TestDHTPoliciesThroughEngine(t *testing.T) {
+	ds := archDataset(t)
+	ring, err := dht.BuildRing(ds.NumUsers(), dht.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Dataset: ds,
+		Policies: []replica.Policy{
+			&dht.Placement{Ring: ring},
+			&dht.Placement{Ring: ring, Social: true, Graph: ds.Graph},
+		},
+		MaxDegree: 5,
+		Repeats:   1,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Policies; got[0] != "RandomDHT" || got[1] != "SocialDHT" {
+		t.Fatalf("policies = %v", got)
+	}
+	for pi := range res.Policies {
+		prev := -1.0
+		for di := range res.Degrees {
+			v := res.Value(pi, di, MetricAvailability)
+			if v < prev-1e-9 {
+				t.Errorf("%s availability not monotone in degree", res.Policies[pi])
+			}
+			prev = v
+		}
+		if eff := res.Value(pi, 5, MetricEffectiveReplicas); eff <= 0 {
+			t.Errorf("%s placed no replicas at budget 5", res.Policies[pi])
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package dht implements the DHT-based storage architecture family the paper
+// frames its friend-replication study against: a deterministic Chord-style
+// key ring whose nodes are the trace's users, plus profile-placement
+// strategies that put replicas on ring successors instead of friends.
+//
+// Two placement strategies are provided (see placement.go): RandomDHT places
+// a profile on the plain successor list of its key, the DECENT-style
+// configuration where storage location is independent of the social graph;
+// SocialDHT re-ranks a successor-candidate window by social proximity and
+// schedule overlap, the Nasir-style socially-aware variant. Both implement
+// replica.Policy, so the existing sweep engine evaluates the paper's four
+// efficiency metrics over DHT replica groups unchanged — and the Architecture
+// interface (arch.go) puts them and the classic friend-replica policies
+// behind one switchable axis.
+//
+// Everything is deterministic: ring IDs are splitmix64 hashes of (salt,
+// user), positions are totally ordered by (id, user), and lookups are pure
+// functions of the ring, so construction and routing are bit-identical
+// across worker counts and invocation orders.
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"dosn/internal/socialgraph"
+)
+
+// DefaultBits is the default ring-identifier width. 32 bits keeps collision
+// probability negligible at paper scale (~14k nodes) while bounding finger
+// tables at 32 entries per node.
+const DefaultBits = 32
+
+// Config parameterizes ring construction.
+type Config struct {
+	// Bits is the ring-identifier width in [8, 64]; 0 means DefaultBits.
+	Bits int
+	// Salt perturbs the node/key hash placement. Architectures in one
+	// comparison should share a salt so their rings coincide; 0 is the
+	// canonical layout.
+	Salt int64
+}
+
+func (c Config) fill() (Config, error) {
+	if c.Bits == 0 {
+		c.Bits = DefaultBits
+	}
+	if c.Bits < 8 || c.Bits > 64 {
+		return c, fmt.Errorf("dht: ring bits %d outside [8, 64]", c.Bits)
+	}
+	return c, nil
+}
+
+// Ring is an immutable Chord-style key ring over users [0, n). Build one
+// with BuildRing; all methods are read-only and safe for concurrent use.
+type Ring struct {
+	bits int
+	mask uint64
+	// ids and users are parallel, sorted by (id, user): position p on the
+	// ring is the node users[p] with identifier ids[p].
+	ids   []uint64
+	users []socialgraph.UserID
+	// pos[u] is the ring position of user u.
+	pos []int32
+	// fingers[p][i] is the position of successor(ids[p] + 2^i): the classic
+	// Chord finger table, used only for hop counting — lookups themselves
+	// binary-search the sorted id slice.
+	fingers [][]int32
+	salt    int64
+}
+
+// BuildRing constructs the ring for users 0..n-1. The layout depends only on
+// (n, cfg): it is bit-identical across processes and worker counts.
+func BuildRing(n int, cfg Config) (*Ring, error) {
+	cfg, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dht: ring needs at least one node, got %d", n)
+	}
+	r := &Ring{
+		bits:  cfg.Bits,
+		salt:  cfg.Salt,
+		ids:   make([]uint64, n),
+		users: make([]socialgraph.UserID, n),
+		pos:   make([]int32, n),
+	}
+	if cfg.Bits == 64 {
+		r.mask = ^uint64(0)
+	} else {
+		r.mask = uint64(1)<<uint(cfg.Bits) - 1
+	}
+	order := make([]int32, n)
+	for u := 0; u < n; u++ {
+		r.ids[u] = splitmix(uint64(cfg.Salt), nodeDomain, uint64(u)) & r.mask
+		order[u] = int32(u)
+	}
+	// Total order by (id, user): hash collisions (possible at small Bits)
+	// resolve deterministically.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if r.ids[a] != r.ids[b] {
+			return r.ids[a] < r.ids[b]
+		}
+		return a < b
+	})
+	sortedIDs := make([]uint64, n)
+	for p, u := range order {
+		sortedIDs[p] = r.ids[u]
+		r.users[p] = u
+		r.pos[u] = int32(p)
+	}
+	r.ids = sortedIDs
+	r.buildFingers()
+	return r, nil
+}
+
+// hash domains separate node placement from profile keys, so a profile's key
+// never trivially coincides with its owner's node identifier.
+const (
+	nodeDomain = 0x6e6f6465 // "node"
+	keyDomain  = 0x6b6579   // "key"
+)
+
+// splitmix hashes the parts splitmix64-style (the same finalizer core.mix
+// uses), giving well-spread 64-bit ring coordinates.
+func splitmix(parts ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, p := range parts {
+		x := p + 0x9E3779B97F4A7C15 + h
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		h = x
+	}
+	return h
+}
+
+func (r *Ring) buildFingers() {
+	n := len(r.ids)
+	r.fingers = make([][]int32, n)
+	flat := make([]int32, n*r.bits)
+	for p := 0; p < n; p++ {
+		row := flat[p*r.bits : (p+1)*r.bits]
+		for i := 0; i < r.bits; i++ {
+			target := (r.ids[p] + uint64(1)<<uint(i)) & r.mask
+			row[i] = int32(r.successorPos(target))
+		}
+		r.fingers[p] = row
+	}
+}
+
+// NumNodes returns the number of ring nodes.
+func (r *Ring) NumNodes() int { return len(r.users) }
+
+// Bits returns the ring-identifier width.
+func (r *Ring) Bits() int { return r.bits }
+
+// NodeID returns user u's ring identifier.
+func (r *Ring) NodeID(u socialgraph.UserID) uint64 {
+	return r.ids[r.pos[u]]
+}
+
+// Key returns the ring point of u's profile key (a different hash domain
+// than node placement, as in a real DHT where keys hash content, not hosts).
+func (r *Ring) Key(u socialgraph.UserID) uint64 {
+	return splitmix(uint64(r.salt), keyDomain, uint64(u)) & r.mask
+}
+
+// PositionOf returns u's index in clockwise ring order.
+func (r *Ring) PositionOf(u socialgraph.UserID) int { return int(r.pos[u]) }
+
+// UserAt returns the user at ring position p (reduced modulo the ring size).
+func (r *Ring) UserAt(p int) socialgraph.UserID {
+	n := len(r.users)
+	return r.users[((p%n)+n)%n]
+}
+
+// successorPos returns the position of the first node whose id is >= key in
+// clockwise order, wrapping past the largest id back to position 0.
+func (r *Ring) successorPos(key uint64) int {
+	p := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	if p == len(r.ids) {
+		return 0
+	}
+	return p
+}
+
+// Successor returns the node responsible for key: the first node at or after
+// the key in clockwise order (the Chord successor).
+func (r *Ring) Successor(key uint64) socialgraph.UserID {
+	return r.users[r.successorPos(key)]
+}
+
+// Successors returns the first k distinct nodes at or after key in clockwise
+// order — the successor list a replication factor of k places a profile on.
+// k is clamped to the ring size.
+func (r *Ring) Successors(key uint64, k int) []socialgraph.UserID {
+	if k <= 0 {
+		return nil
+	}
+	n := len(r.users)
+	if k > n {
+		k = n
+	}
+	out := make([]socialgraph.UserID, k)
+	p := r.successorPos(key)
+	for i := 0; i < k; i++ {
+		out[i] = r.users[(p+i)%n]
+	}
+	return out
+}
+
+// SuccessorsOf returns up to k successor candidates for owner's profile key,
+// excluding the owner (the owner always stores his own profile; a DHT
+// placement chooses the *additional* hosts).
+func (r *Ring) SuccessorsOf(owner socialgraph.UserID, k int) []socialgraph.UserID {
+	if k <= 0 {
+		return nil
+	}
+	n := len(r.users)
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([]socialgraph.UserID, 0, k)
+	p := r.successorPos(r.Key(owner))
+	for i := 0; i < n && len(out) < k; i++ {
+		u := r.users[(p+i)%n]
+		if u != owner {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Steps returns the number of clockwise single-successor steps from position
+// `from` to position `to` — the successor-list walk length between them.
+func (r *Ring) Steps(from, to int) int {
+	n := len(r.users)
+	return ((to-from)%n + n) % n
+}
+
+// HopCount returns the number of routing hops a Chord greedy lookup from
+// `from` takes to reach the node responsible for key: closest-preceding-
+// finger hops plus the final successor hop. A node resolving a key it is
+// itself responsible for takes 0 hops. Bounded by O(log n) in expectation
+// and by the ring size in the worst case.
+func (r *Ring) HopCount(from socialgraph.UserID, key uint64) int {
+	hops := 0
+	r.walk(from, key, func(socialgraph.UserID) { hops++ })
+	return hops
+}
+
+// Route returns the full lookup path from `from` to the node responsible for
+// key, inclusive of both endpoints. The first element is always `from`; the
+// last is Successor(key). len(Route)-1 equals HopCount.
+func (r *Ring) Route(from socialgraph.UserID, key uint64) []socialgraph.UserID {
+	path := []socialgraph.UserID{from}
+	r.walk(from, key, func(u socialgraph.UserID) { path = append(path, u) })
+	return path
+}
+
+// walk performs the greedy Chord lookup, invoking visit for every node the
+// query is forwarded to (not for the origin). The loop runs in position
+// space — each iteration strictly shrinks the clockwise distance to the
+// destination, so it terminates even when hash collisions make ring
+// identifiers non-unique (possible at small Bits).
+func (r *Ring) walk(from socialgraph.UserID, key uint64, visit func(socialgraph.UserID)) {
+	n := len(r.users)
+	dest := r.successorPos(key)
+	cur := int(r.pos[from])
+	for cur != dest {
+		remaining := r.Steps(cur, dest)
+		// Forward to the farthest finger that does not overshoot the
+		// destination; the immediate successor (one step) always qualifies.
+		// Finger position distances are nondecreasing in the finger index,
+		// so the first non-overshooting finger from the top is the farthest.
+		next := (cur + 1) % n
+		row := r.fingers[cur]
+		for i := r.bits - 1; i >= 0; i-- {
+			f := int(row[i])
+			if d := r.Steps(cur, f); d > 1 && d < remaining {
+				next = f
+				break
+			}
+		}
+		cur = next
+		visit(r.users[cur])
+	}
+}

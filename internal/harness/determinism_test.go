@@ -11,6 +11,10 @@ import (
 // pool size must never change a byte of the output.
 func TestRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	spec := testSpec()
+	// Include the DHT architectures so ring construction and lookup-driven
+	// placement are covered by the byte-identity guarantee too.
+	spec.Models = spec.Models[:1]
+	spec.Architectures = []string{"FriendReplica", "RandomDHT", "SocialDHT"}
 	marshal := func(opts RunOptions) []byte {
 		t.Helper()
 		m, err := Run(spec, opts)

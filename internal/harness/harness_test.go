@@ -247,7 +247,7 @@ func TestManifestJSONRoundTripAndCSV(t *testing.T) {
 	if len(lines) != wantRows {
 		t.Errorf("CSV has %d lines, want %d", len(lines), wantRows)
 	}
-	wantHeader := "dataset,model,model_key,mode,policy,degree,seed,users,repeats,availability,aod_time,aod_activity,delay_hours,effective_replicas"
+	wantHeader := "dataset,model,model_key,mode,policy,degree,seed,users,repeats,availability,aod_time,aod_activity,delay_hours,effective_replicas,arch"
 	if lines[0] != wantHeader {
 		t.Errorf("CSV header = %q", lines[0])
 	}
@@ -345,6 +345,109 @@ func TestValidateRejectsDuplicateCells(t *testing.T) {
 	}
 	if err := spec.Validate(); err != nil {
 		t.Errorf("distinct same-name datasets rejected: %v", err)
+	}
+}
+
+// TestValidateRejectsDuplicateArchitectures pins the duplicate-cell check
+// over the architecture axis: the same architecture listed twice (explicitly
+// or as the spelled-out form of the implicit FriendReplica default) must be
+// refused with the duplicate-cell error, and unknown names must be named in
+// the error.
+func TestValidateRejectsDuplicateArchitectures(t *testing.T) {
+	spec := testSpec()
+	spec.Architectures = []string{"RandomDHT", "RandomDHT"}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("duplicate architecture entries accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate cell") || !strings.Contains(err.Error(), "architecture") {
+		t.Errorf("duplicate-architecture error %q does not name the problem", err)
+	}
+	spec = testSpec()
+	spec.Architectures = []string{"FriendReplica", "FriendReplica"}
+	if err := spec.Validate(); err == nil {
+		t.Error("duplicate FriendReplica entries accepted")
+	}
+	spec = testSpec()
+	spec.Architectures = []string{"Gossip"}
+	err = spec.Validate()
+	if err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if !strings.Contains(err.Error(), "Gossip") {
+		t.Errorf("unknown-architecture error %q does not name the entry", err)
+	}
+	spec = testSpec()
+	spec.RingBits = 4
+	if err := spec.Validate(); err == nil {
+		t.Error("out-of-range ring bits accepted")
+	}
+	spec = testSpec()
+	spec.Architectures = []string{"FriendReplica", "RandomDHT", "SocialDHT"}
+	spec.RingBits = 16
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid multi-architecture spec rejected: %v", err)
+	}
+}
+
+// TestArchitectureAxisPreservesFriendCells pins the compatibility guarantee:
+// adding DHT architectures to a spec must not change a single byte of the
+// FriendReplica cells — same seeds, same results — and the DHT cells must be
+// real, distinct experiments.
+func TestArchitectureAxisPreservesFriendCells(t *testing.T) {
+	base := testSpec()
+	base.Datasets = base.Datasets[:1]
+	base.Models = base.Models[:1]
+	ref, err := Run(base, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run(base): %v", err)
+	}
+	wide := base
+	wide.Architectures = []string{"FriendReplica", "RandomDHT", "SocialDHT"}
+	m, err := Run(wide, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatalf("Run(wide): %v", err)
+	}
+	if len(m.Cells) != 3*len(ref.Cells) {
+		t.Fatalf("wide run has %d cells, want %d", len(m.Cells), 3*len(ref.Cells))
+	}
+	for _, want := range ref.Cells {
+		got, ok := m.CellWithArch(want.Dataset, want.Model, want.Mode, "FriendReplica")
+		if !ok {
+			t.Fatalf("friend cell %s/%s/%s missing from wide run", want.Dataset, want.Model, want.Mode)
+		}
+		wantJSON, _ := marshalCell(want)
+		gotJSON, _ := marshalCell(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("friend cell changed under the architecture axis:\nwas: %s\nnow: %s", wantJSON, gotJSON)
+		}
+	}
+	friend, _ := m.CellWithArch("facebook", "Sporadic", "ConRep", "FriendReplica")
+	random, ok1 := m.CellWithArch("facebook", "Sporadic", "ConRep", "RandomDHT")
+	social, ok2 := m.CellWithArch("facebook", "Sporadic", "ConRep", "SocialDHT")
+	if !ok1 || !ok2 {
+		t.Fatal("DHT cells missing from wide run")
+	}
+	if random.Architecture != "RandomDHT" || social.Architecture != "SocialDHT" {
+		t.Errorf("DHT cells carry architectures %q, %q", random.Architecture, social.Architecture)
+	}
+	if len(random.Policies) != 1 || random.Policies[0] != "RandomDHT" {
+		t.Errorf("RandomDHT cell policies = %v", random.Policies)
+	}
+	if len(social.Policies) != 1 || social.Policies[0] != "SocialDHT" {
+		t.Errorf("SocialDHT cell policies = %v", social.Policies)
+	}
+	// The three architectures must disagree somewhere: identical numbers
+	// would mean the axis is wired to a no-op.
+	fv, _ := friend.Value("availability", 0, 3)
+	rv, _ := random.Value("availability", 0, 3)
+	sv, _ := social.Value("availability", 0, 3)
+	if fv == rv && rv == sv {
+		t.Errorf("all architectures produced availability %v; the axis changes nothing", fv)
+	}
+	// And their seeds must differ: architecture is part of the cell identity.
+	if friend.Seed == random.Seed || random.Seed == social.Seed {
+		t.Error("architectures share cell seeds")
 	}
 }
 

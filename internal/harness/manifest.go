@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"dosn/internal/core"
+	"dosn/internal/dht"
 )
 
 // ManifestVersion is the schema version stamped into emitted manifests.
@@ -42,6 +43,11 @@ type CellResult struct {
 	Dataset string `json:"dataset"`
 	Model   string `json:"model"`
 	Mode    string `json:"mode"`
+	// Architecture is the storage architecture ("RandomDHT", "SocialDHT");
+	// empty means FriendReplica, kept implicit so manifests of
+	// pre-architecture-axis specs stay byte-identical. Read it through
+	// ArchName.
+	Architecture string `json:"architecture,omitempty"`
 	// DatasetSpec and ModelSpec carry the full cell coordinates: display
 	// names drop parameters (every Sporadic session length reads
 	// "Sporadic"), so these disambiguate parameterized variants.
@@ -61,18 +67,23 @@ type CellResult struct {
 }
 
 func newCellResult(cell CellSpec, seed int64, res *core.Result) CellResult {
+	arch := ""
+	if !cell.isFriend() {
+		arch = cell.Arch
+	}
 	out := CellResult{
-		Dataset:     cell.Dataset.Name,
-		Model:       cell.Model.Name(),
-		Mode:        cell.Mode.String(),
-		DatasetSpec: cell.Dataset,
-		ModelSpec:   cell.Model,
-		Seed:        seed,
-		Users:       res.Users,
-		Repeats:     res.Repeats,
-		Degrees:     res.Degrees,
-		Policies:    res.Policies,
-		Metrics:     make(map[string][][]float64, len(metricColumns)),
+		Dataset:      cell.Dataset.Name,
+		Model:        cell.Model.Name(),
+		Mode:         cell.Mode.String(),
+		Architecture: arch,
+		DatasetSpec:  cell.Dataset,
+		ModelSpec:    cell.Model,
+		Seed:         seed,
+		Users:        res.Users,
+		Repeats:      res.Repeats,
+		Degrees:      res.Degrees,
+		Policies:     res.Policies,
+		Metrics:      make(map[string][][]float64, len(metricColumns)),
 	}
 	for _, mc := range metricColumns {
 		grid := make([][]float64, len(res.Policies))
@@ -86,6 +97,15 @@ func newCellResult(cell CellSpec, seed int64, res *core.Result) CellResult {
 		out.Metrics[mc.ID] = grid
 	}
 	return out
+}
+
+// ArchName returns the cell's canonical architecture name, resolving the
+// implicit empty default to FriendReplica.
+func (c CellResult) ArchName() string {
+	if c.Architecture == "" {
+		return dht.ArchFriendReplica
+	}
+	return c.Architecture
 }
 
 // Value returns the mean of the identified metric for a policy/degree index.
@@ -111,10 +131,23 @@ type RunManifest struct {
 
 // Cell returns the first result matching the given display-name coordinates.
 // Parameterized model variants can share a display name; disambiguate via
-// CellResult.ModelSpec when iterating Cells directly.
+// CellResult.ModelSpec when iterating Cells directly, and use CellWithArch
+// when the spec sweeps several architectures over one coordinate triple.
 func (m *RunManifest) Cell(dataset, model, mode string) (CellResult, bool) {
 	for _, c := range m.Cells {
 		if c.Dataset == dataset && c.Model == model && c.Mode == mode {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// CellWithArch returns the first result matching the display-name
+// coordinates and the canonical architecture name ("FriendReplica" matches
+// the implicit default).
+func (m *RunManifest) CellWithArch(dataset, model, mode, arch string) (CellResult, bool) {
+	for _, c := range m.Cells {
+		if c.Dataset == dataset && c.Model == model && c.Mode == mode && c.ArchName() == arch {
 			return c, true
 		}
 	}
@@ -153,12 +186,14 @@ func ReadManifest(r io.Reader) (*RunManifest, error) {
 func (m *RunManifest) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	// model_key disambiguates parameterized variants that share a display
-	// name (every Sporadic session length prints "Sporadic" in model).
+	// name (every Sporadic session length prints "Sporadic" in model). The
+	// arch coordinate sits in the final column so every pre-existing column
+	// keeps its position for consumers that index positionally.
 	fmt.Fprint(bw, "dataset,model,model_key,mode,policy,degree,seed,users,repeats")
 	for _, mc := range metricColumns {
 		fmt.Fprint(bw, ","+mc.ID)
 	}
-	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, ",arch")
 	for _, c := range m.Cells {
 		for pi, policy := range c.Policies {
 			for di, degree := range c.Degrees {
@@ -168,7 +203,7 @@ func (m *RunManifest) WriteCSV(w io.Writer) error {
 					v, _ := c.Value(mc.ID, pi, di)
 					fmt.Fprint(bw, ","+strconv.FormatFloat(v, 'g', -1, 64))
 				}
-				fmt.Fprintln(bw)
+				fmt.Fprintln(bw, ","+c.ArchName())
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dosn/internal/core"
+	"dosn/internal/dht"
 	"dosn/internal/interval"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
@@ -63,6 +64,7 @@ type caches struct {
 	mu        sync.Mutex
 	datasets  map[string]*lazy[*trace.Dataset]
 	schedules map[string]*lazy[[][]interval.Set]
+	rings     map[string]*lazy[*dht.Ring]
 	schedHits atomic.Int64
 }
 
@@ -70,6 +72,7 @@ func newCaches() *caches {
 	return &caches{
 		datasets:  make(map[string]*lazy[*trace.Dataset]),
 		schedules: make(map[string]*lazy[[][]interval.Set]),
+		rings:     make(map[string]*lazy[*dht.Ring]),
 	}
 }
 
@@ -82,6 +85,24 @@ func (c *caches) datasetEntry(key string) *lazy[*trace.Dataset] {
 		c.datasets[key] = e
 	}
 	return e
+}
+
+// ringFor computes (or fetches) the ring shared by every DHT cell over the
+// given dataset. The ring is a pure function of (user count, ring bits) —
+// like the dataset, it is infrastructure, independent of the root seed — so
+// two cells over the same dataset always route on the same ring.
+func (c *caches) ringFor(d DatasetSpec, bits int, ds *trace.Dataset) (*dht.Ring, error) {
+	key := fmt.Sprintf("%s|%d", d.key(), bits)
+	c.mu.Lock()
+	e, ok := c.rings[key]
+	if !ok {
+		e = &lazy[*dht.Ring]{}
+		c.rings[key] = e
+	}
+	c.mu.Unlock()
+	return e.get(func() (*dht.Ring, error) {
+		return dht.BuildRing(ds.NumUsers(), dht.Config{Bits: bits})
+	})
 }
 
 func (c *caches) scheduleEntry(key string) (entry *lazy[[][]interval.Set], hit bool) {
@@ -188,13 +209,26 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 	}, nil
 }
 
-// runCell executes one cell's replication-degree sweep.
+// runCell executes one cell's replication-degree sweep. FriendReplica cells
+// sweep the spec's policy list; DHT cells sweep their architecture's
+// placement over the dataset's shared ring.
 func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWorkers int, shared *caches) (CellResult, error) {
 	ds, err := shared.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
 		return buildDataset(cell.Dataset)
 	})
 	if err != nil {
 		return CellResult{}, err
+	}
+	if !cell.isFriend() {
+		ring, err := shared.ringFor(cell.Dataset, cell.RingBits, ds)
+		if err != nil {
+			return CellResult{}, err
+		}
+		arch, err := dht.NewArchitecture(cell.Arch, ring, ds.Graph, nil)
+		if err != nil {
+			return CellResult{}, err
+		}
+		policies = arch.Policies()
 	}
 	model, err := cell.Model.Model()
 	if err != nil {

@@ -15,8 +15,10 @@ package harness
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
 	"time"
 
+	"dosn/internal/dht"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/trace"
@@ -159,6 +161,17 @@ type MatrixSpec struct {
 	Models   []ModelSpec   `json:"models"`
 	// Modes lists "ConRep" and/or "UnconRep".
 	Modes []string `json:"modes"`
+	// Architectures lists the storage architectures evaluated as a fourth
+	// matrix axis: "FriendReplica" (the paper's friend replication, driven
+	// by Policies), "RandomDHT" (key-successor placement) and/or
+	// "SocialDHT" (socially-re-ranked successor placement). Empty means
+	// FriendReplica only, which leaves every existing cell's identity —
+	// seed, key, and result bytes — exactly as it was before the axis
+	// existed.
+	Architectures []string `json:"architectures,omitempty"`
+	// RingBits is the DHT ring identifier width for DHT-architecture cells
+	// (0 = dht.DefaultBits). FriendReplica cells ignore it.
+	RingBits int `json:"ring_bits,omitempty"`
 	// Policies names the placement policies evaluated side by side in every
 	// cell; empty means the paper's MaxAv, MostActive, Random.
 	Policies []string `json:"policies,omitempty"`
@@ -245,6 +258,14 @@ func (s MatrixSpec) Validate() error {
 			return err
 		}
 	}
+	for _, a := range s.Architectures {
+		if !dht.ValidArchName(a) {
+			return fmt.Errorf("harness: unknown architecture %q (FriendReplica|RandomDHT|SocialDHT)", a)
+		}
+	}
+	if s.RingBits != 0 && (s.RingBits < 8 || s.RingBits > 64) {
+		return fmt.Errorf("harness: ring bits %d outside [8, 64]", s.RingBits)
+	}
 	for _, p := range s.Policies {
 		if _, err := policyByName(p); err != nil {
 			return err
@@ -254,11 +275,28 @@ func (s MatrixSpec) Validate() error {
 	for _, c := range s.Cells() {
 		key := c.canonicalKey()
 		if seen[key] {
-			return fmt.Errorf("harness: duplicate cell %s (identical dataset, model and mode listed twice)", c.Key())
+			return fmt.Errorf("harness: duplicate cell %s (identical dataset, model, mode and architecture listed twice)", c.Key())
 		}
 		seen[key] = true
 	}
 	return nil
+}
+
+// archList returns the effective architecture axis: the spec's entries, or
+// FriendReplica alone when none are listed.
+func (s MatrixSpec) archList() []string {
+	if len(s.Architectures) == 0 {
+		return []string{dht.ArchFriendReplica}
+	}
+	return s.Architectures
+}
+
+// ringBits returns the effective ring width for DHT cells.
+func (s MatrixSpec) ringBits() int {
+	if s.RingBits == 0 {
+		return dht.DefaultBits
+	}
+	return s.RingBits
 }
 
 func parseMode(s string) (replica.Mode, error) {
@@ -293,22 +331,60 @@ type CellSpec struct {
 	Dataset DatasetSpec
 	Model   ModelSpec
 	Mode    replica.Mode
+	// Arch is the canonical architecture name (FriendReplica|RandomDHT|
+	// SocialDHT); empty means FriendReplica.
+	Arch string
+	// RingBits is the resolved ring width; zero for FriendReplica cells,
+	// which have no ring.
+	RingBits int
+}
+
+// isFriend reports whether the cell runs the classic friend-replica
+// architecture.
+func (c CellSpec) isFriend() bool {
+	return c.Arch == "" || c.Arch == dht.ArchFriendReplica
+}
+
+// ArchName returns the cell's canonical architecture name, resolving the
+// empty default to FriendReplica.
+func (c CellSpec) ArchName() string {
+	if c.isFriend() {
+		return dht.ArchFriendReplica
+	}
+	return c.Arch
 }
 
 // Key is the cell's human-readable coordinate string for progress output.
 // It uses display names and may coincide for parameterized model variants;
-// seed derivation uses canonicalKey.
+// seed derivation uses canonicalKey. FriendReplica cells keep the original
+// three-part form so existing tooling and logs read unchanged; DHT cells
+// append the architecture.
 func (c CellSpec) Key() string {
-	return fmt.Sprintf("%s/%s/%s", c.Dataset.Name, c.Model.Name(), c.Mode)
+	k := fmt.Sprintf("%s/%s/%s", c.Dataset.Name, c.Model.Name(), c.Mode)
+	if !c.isFriend() {
+		k += "/" + c.Arch
+	}
+	return k
 }
 
 // canonicalKey encodes every coordinate parameter; it is the identity the
 // cell seed, the caches and Validate's duplicate check are built on.
+// FriendReplica cells keep the pre-architecture-axis form, so their seeds —
+// and therefore their result bytes — are identical to specs written before
+// the axis existed.
 func (c CellSpec) canonicalKey() string {
-	return c.Dataset.key() + "|" + c.Model.key() + "|" + c.Mode.String()
+	k := c.Dataset.key() + "|" + c.Model.key() + "|" + c.Mode.String()
+	if !c.isFriend() {
+		k += "|" + c.Arch + "|" + strconv.Itoa(c.RingBits)
+	}
+	return k
 }
 
-// Cells enumerates the matrix in canonical (dataset, model, mode) order.
+// Cells enumerates the matrix in canonical (dataset, model, mode,
+// architecture) order. With architectures listed, FriendReplica-first
+// ordering within a coordinate triple is whatever the spec lists — callers
+// that need one specific architecture should match on CellSpec.Arch (or
+// RunManifest.CellWithArch) rather than position.
 func (s MatrixSpec) Cells() []CellSpec {
 	var out []CellSpec
 	for _, d := range s.Datasets {
@@ -318,7 +394,13 @@ func (s MatrixSpec) Cells() []CellSpec {
 				if err != nil {
 					continue // Validate reports this; enumeration skips it
 				}
-				out = append(out, CellSpec{Index: len(out), Dataset: d, Model: m, Mode: mode})
+				for _, a := range s.archList() {
+					c := CellSpec{Index: len(out), Dataset: d, Model: m, Mode: mode, Arch: a}
+					if !c.isFriend() {
+						c.RingBits = s.ringBits()
+					}
+					out = append(out, c)
+				}
 			}
 		}
 	}

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"dosn/internal/interval"
 	"dosn/internal/socialgraph"
@@ -290,6 +291,60 @@ func HostLoad(assignments map[socialgraph.UserID][]socialgraph.UserID, numUsers 
 		}
 	}
 	return load
+}
+
+// Gini returns the Gini coefficient of a per-node load vector in [0, 1): 0
+// is a perfectly even spread, values toward 1 mean a few nodes carry almost
+// all of the load. It complements LoadImbalance's coefficient of variation
+// with a bounded, distribution-shape measure — the per-node load-imbalance
+// metric the DHT architecture comparison reports (socially-aware placement
+// trades routing locality for storage skew; this is the number that shows
+// it). An empty or all-zero vector has Gini 0.
+func Gini(load []int) float64 {
+	if len(load) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(load))
+	copy(sorted, load)
+	sort.Ints(sorted)
+	var total, weighted float64
+	for i, l := range sorted {
+		total += float64(l)
+		weighted += float64(i+1) * float64(l)
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*weighted - (n+1)*total) / (n * total)
+}
+
+// RoutingStats summarizes the hop counts of a batch of DHT lookups — the
+// routing-cost metric the friend-replica architecture trivially wins (every
+// lookup is one social hop) and a DHT must pay O(log n) for.
+type RoutingStats struct {
+	// Lookups is the number of lookups summarized.
+	Lookups int
+	// MeanHops and MaxHops describe the hop-count distribution.
+	MeanHops float64
+	MaxHops  int
+}
+
+// SummarizeHops aggregates per-lookup hop counts.
+func SummarizeHops(hops []int) RoutingStats {
+	s := RoutingStats{Lookups: len(hops)}
+	if len(hops) == 0 {
+		return s
+	}
+	total := 0
+	for _, h := range hops {
+		total += h
+		if h > s.MaxHops {
+			s.MaxHops = h
+		}
+	}
+	s.MeanHops = float64(total) / float64(len(hops))
+	return s
 }
 
 // LoadImbalance summarizes a HostLoad vector as (mean, max, coefficient of

@@ -389,3 +389,47 @@ func TestAvailabilityOnDemandMinutesAgrees(t *testing.T) {
 		t.Error("no activities should report ok=false")
 	}
 }
+
+// TestGini checks the load-imbalance coefficient on known distributions.
+func TestGini(t *testing.T) {
+	tests := []struct {
+		load []int
+		want float64
+	}{
+		{nil, 0},
+		{[]int{0, 0, 0}, 0},
+		{[]int{5}, 0},
+		{[]int{3, 3, 3, 3}, 0},               // perfectly even
+		{[]int{0, 0, 0, 12}, 0.75},           // all load on one of four nodes: (n-1)/n
+		{[]int{1, 1, 1, 1, 0, 0, 0, 0}, 0.5}, // half the nodes carry everything evenly
+	}
+	for _, tt := range tests {
+		if got := Gini(tt.load); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Gini(%v) = %v, want %v", tt.load, got, tt.want)
+		}
+	}
+	// Order must not matter, and the input must not be mutated.
+	in := []int{9, 1, 4, 0, 4}
+	shuffled := []int{0, 4, 9, 4, 1}
+	if Gini(in) != Gini(shuffled) {
+		t.Error("Gini depends on input order")
+	}
+	if in[0] != 9 || in[3] != 0 {
+		t.Error("Gini mutated its input")
+	}
+	// More skew means a larger coefficient.
+	if !(Gini([]int{10, 0, 0, 0}) > Gini([]int{4, 3, 2, 1})) {
+		t.Error("Gini does not order skew correctly")
+	}
+}
+
+// TestSummarizeHops checks the lookup hop-count aggregation.
+func TestSummarizeHops(t *testing.T) {
+	if s := SummarizeHops(nil); s.Lookups != 0 || s.MeanHops != 0 || s.MaxHops != 0 {
+		t.Errorf("empty hop summary = %+v", s)
+	}
+	s := SummarizeHops([]int{0, 2, 4})
+	if s.Lookups != 3 || s.MeanHops != 2 || s.MaxHops != 4 {
+		t.Errorf("hop summary = %+v, want {3 2 4}", s)
+	}
+}

@@ -86,11 +86,13 @@ func (in Input) bitmap(u socialgraph.UserID) *interval.Bitmap {
 	return &in.Bitmaps[u]
 }
 
-// connected reports whether candidate c is time-connected to the owner or to
+// Connected reports whether candidate c is time-connected to the owner or to
 // any already chosen replica. With precomputed bitmaps the pairwise checks
 // are word-wise AND scans; without them the sorted-interval sweep is used.
-// Both answer identically.
-func (in Input) connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
+// Both answer identically. Exported so policy implementations outside this
+// package (the DHT placements in internal/dht) can honor ConRep mode with
+// the identical rule.
+func (in Input) Connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
 	if cb := in.bitmap(c); cb != nil {
 		if ob := in.bitmap(in.Owner); ob != nil && cb.Intersects(ob) {
 			return true
@@ -121,7 +123,7 @@ func (in Input) eligible(chosen []socialgraph.UserID, taken map[socialgraph.User
 		if taken[c] {
 			continue
 		}
-		if in.Mode == ConRep && !in.connected(c, chosen) {
+		if in.Mode == ConRep && !in.Connected(c, chosen) {
 			continue
 		}
 		out = append(out, c)
@@ -278,7 +280,7 @@ func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
 			if taken[i] {
 				continue
 			}
-			if in.Mode == ConRep && !in.connected(c, chosen) {
+			if in.Mode == ConRep && !in.Connected(c, chosen) {
 				continue
 			}
 			overlap := covered.OverlapMinutes(cand[i])
@@ -339,7 +341,7 @@ func (MostActive) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
 			if taken[c] || in.InteractionCounts[c] == 0 {
 				continue
 			}
-			if in.Mode == ConRep && !in.connected(c, chosen) {
+			if in.Mode == ConRep && !in.Connected(c, chosen) {
 				continue
 			}
 			best = c

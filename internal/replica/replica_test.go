@@ -305,7 +305,7 @@ func TestQuickConRepAlwaysConnected(t *testing.T) {
 		p := policies[int(policyIdx)%len(policies)]
 		got := p.Select(in, rng)
 		for i, r := range got {
-			if !in.connected(r, got[:i]) {
+			if !in.Connected(r, got[:i]) {
 				return false
 			}
 		}

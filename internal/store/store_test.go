@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -337,5 +338,87 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader([]byte(`{"node":1,"walls":[{"owner":2,"posts":[{"id":{"author":1,"seq":1},"wall":99}]}]}`))); err == nil {
 		t.Error("mismatched wall IDs must fail to load")
+	}
+}
+
+// TestSaveLoadRoundTripDHTHost round-trips a store in the configuration a
+// DHT architecture produces and the friend-only tests never exercise: the
+// node hosts replicas exclusively for owners it has no social tie to (it is
+// a key-successor, not a friend, and not a member of its own wall set), the
+// post logs carry many foreign authors with gappy sequence numbers, and the
+// host has authored posts on a wall it merely replicates. Every digest,
+// anti-entropy delta, LWW field and authoring counter must survive
+// persistence bit for bit.
+func TestSaveLoadRoundTripDHTHost(t *testing.T) {
+	host := New(42) // hosts walls 3 and 900; 42 hosts neither its own wall nor a friend's
+	host.Host(3)
+	host.Host(900)
+	// Wall 3: foreign authors with non-contiguous sequence numbers, as
+	// lookup-routed delivery lands them (later posts can arrive first).
+	for _, p := range []Post{
+		{ID: PostID{Author: 5, Seq: 2}, Wall: 3, Body: "second", CreatedAt: 20},
+		{ID: PostID{Author: 5, Seq: 1}, Wall: 3, Body: "first", CreatedAt: 10},
+		{ID: PostID{Author: 11, Seq: 7}, Wall: 3, Body: "gap", CreatedAt: 15},
+		{ID: PostID{Author: 3, Seq: 1}, Wall: 3, Body: "owner", CreatedAt: 5},
+	} {
+		if _, err := host.Apply(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The host also authored on a wall it replicates without owning.
+	if _, err := host.Author(900, "hosted-comment", 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.SetField(900, "bio", Field{Value: "dht", At: 40, Writer: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := host.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := back.Walls(); len(got) != 2 || got[0] != 3 || got[1] != 900 {
+		t.Fatalf("walls = %v", got)
+	}
+	for _, wall := range []NodeID{3, 900} {
+		wantDigest, _ := host.Digest(wall)
+		gotDigest, _ := back.Digest(wall)
+		if wantDigest.Compare(gotDigest) != vclock.Equal {
+			t.Errorf("wall %d digest %v != %v", wall, gotDigest, wantDigest)
+		}
+		want, _ := host.Posts(wall)
+		got, _ := back.Posts(wall)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("wall %d posts differ:\n%v\n%v", wall, got, want)
+		}
+		// The restored replica owes a fresh digest nothing: anti-entropy
+		// from the original must transfer zero posts.
+		missing, _ := host.MissingFrom(wall, gotDigest)
+		if len(missing) != 0 {
+			t.Errorf("wall %d: restored replica still missing %v", wall, missing)
+		}
+	}
+	fs, _ := back.Fields(900)
+	if fs["bio"].Value != "dht" || fs["bio"].Writer != 42 {
+		t.Errorf("fields = %v", fs)
+	}
+	// Authoring on the merely-hosted wall must continue past the restored
+	// counter, and applying one's own replicated history must not clash.
+	p, err := back.Author(900, "after-restart", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != (PostID{Author: 42, Seq: 2}) {
+		t.Errorf("post-restart ID = %+v, want {42 2}", p.ID)
+	}
+	// A foreign author's gappy history must keep its digest semantics: seq 7
+	// with no 1..6 still reports 7 as observed.
+	d, _ := back.Digest(3)
+	if d.Get(11) != 7 {
+		t.Errorf("digest for author 11 = %d, want 7", d.Get(11))
 	}
 }

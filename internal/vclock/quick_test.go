@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickClock draws a random clock over a small node-ID universe, so generated
+// clocks overlap often enough to exercise the pointwise-max logic (fully
+// disjoint clocks would make Merge a trivial union).
+type quickClock struct{ Clock }
+
+func (quickClock) Generate(rng *rand.Rand, size int) reflect.Value {
+	c := New()
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		c[NodeID(rng.Intn(8))] = uint64(rng.Intn(size + 1))
+	}
+	return reflect.ValueOf(quickClock{c})
+}
+
+func merged(a, b Clock) Clock {
+	out := a.Copy()
+	out.Merge(b)
+	return out
+}
+
+func equalClocks(a, b Clock) bool {
+	// Map equality up to zero entries: a counter at 0 means the same as an
+	// absent one everywhere in the API (Get returns 0 for both).
+	for k, v := range a {
+		if b.Get(k) != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a.Get(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickMergeCommutativeExact: a ⊔ b = b ⊔ a. The DHT delivery path leans on
+// this — replicas that learn of each other's posts in opposite orders must
+// converge to the same digest.
+func TestQuickMergeCommutativeExact(t *testing.T) {
+	if err := quick.Check(func(a, b quickClock) bool {
+		return equalClocks(merged(a.Clock, b.Clock), merged(b.Clock, a.Clock))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeAssociativeExact: (a ⊔ b) ⊔ c = a ⊔ (b ⊔ c) — gossip through any
+// relay chain yields the digest of the direct exchange.
+func TestQuickMergeAssociativeExact(t *testing.T) {
+	if err := quick.Check(func(a, b, c quickClock) bool {
+		left := merged(merged(a.Clock, b.Clock), c.Clock)
+		right := merged(a.Clock, merged(b.Clock, c.Clock))
+		return equalClocks(left, right)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeIdempotentExact: a ⊔ a = a, and re-merging an already-absorbed
+// clock changes nothing — anti-entropy retries are harmless.
+func TestQuickMergeIdempotentExact(t *testing.T) {
+	if err := quick.Check(func(a, b quickClock) bool {
+		if !equalClocks(merged(a.Clock, a.Clock), a.Clock) {
+			return false
+		}
+		once := merged(a.Clock, b.Clock)
+		return equalClocks(merged(once, b.Clock), once)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeDominates: the merge result dominates both inputs, and
+// Compare never reports Before against either input.
+func TestQuickMergeDominates(t *testing.T) {
+	if err := quick.Check(func(a, b quickClock) bool {
+		m := merged(a.Clock, b.Clock)
+		if !m.Dominates(a.Clock) || !m.Dominates(b.Clock) {
+			return false
+		}
+		return m.Compare(a.Clock) != Before && m.Compare(b.Clock) != Before
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeDoesNotMutateArgument: Merge mutates only the receiver.
+func TestQuickMergeDoesNotMutateArgument(t *testing.T) {
+	if err := quick.Check(func(a, b quickClock) bool {
+		before := b.Clock.Copy()
+		merged(a.Clock, b.Clock)
+		return equalClocks(b.Clock, before)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
