@@ -13,6 +13,7 @@ package dosn_test
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -75,6 +76,7 @@ func figValue(b *testing.B, fig dosn.Figure, label string, xi int) float64 {
 // requested headline value from the first panel.
 func benchPanels(b *testing.B, ids []string, reportSeries, metricName string, xi int) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var headline float64
 	for i := 0; i < b.N; i++ {
@@ -95,6 +97,7 @@ func benchPanels(b *testing.B, ids []string, reportSeries, metricName string, xi
 
 func BenchmarkFig02DegreeDistribution(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var users float64
 	for i := 0; i < b.N; i++ {
@@ -158,6 +161,7 @@ func BenchmarkFig11TwitterAoDTime(b *testing.B) {
 
 func BenchmarkX1ProtocolValidation(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var measured, analytic float64
 	for i := 0; i < b.N; i++ {
@@ -179,6 +183,7 @@ func BenchmarkX1ProtocolValidation(b *testing.B) {
 
 func BenchmarkX2ObservedDelay(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var actual, observed float64
 	for i := 0; i < b.N; i++ {
@@ -203,6 +208,7 @@ func BenchmarkX2ObservedDelay(b *testing.B) {
 
 func BenchmarkX3EffectiveReplicas(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var eff float64
 	for i := 0; i < b.N; i++ {
@@ -227,6 +233,7 @@ func BenchmarkX3EffectiveReplicas(b *testing.B) {
 
 func BenchmarkX4ReplicaLoad(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cvRandom, cvActive float64
 	for i := 0; i < b.N; i++ {
@@ -251,6 +258,7 @@ func BenchmarkX4ReplicaLoad(b *testing.B) {
 
 func BenchmarkA1ObjectiveAblation(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var availObj, actObj float64
 	for i := 0; i < b.N; i++ {
@@ -269,6 +277,7 @@ func BenchmarkA1ObjectiveAblation(b *testing.B) {
 
 func BenchmarkA2HistorySplit(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var hist, oracle float64
 	for i := 0; i < b.N; i++ {
@@ -285,6 +294,7 @@ func BenchmarkA2HistorySplit(b *testing.B) {
 
 func BenchmarkA3Churn(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var maxavAfter3 float64
 	for i := 0; i < b.N; i++ {
@@ -299,6 +309,7 @@ func BenchmarkA3Churn(b *testing.B) {
 
 func BenchmarkA4EagerPushAblation(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var eagerDelay, lazyDelay float64
 	for i := 0; i < b.N; i++ {
@@ -324,6 +335,7 @@ func BenchmarkA4EagerPushAblation(b *testing.B) {
 
 func BenchmarkX5ReadAvailability(b *testing.B) {
 	s := suite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var measured, analytic float64
 	for i := 0; i < b.N; i++ {
@@ -368,6 +380,24 @@ var (
 	benchMatrixRecords = map[string]map[string]float64{}
 )
 
+// allocMeter measures heap bytes allocated across a benchmark loop so the
+// per-op figure can be recorded in BENCH_matrix.json (testing's -benchmem
+// B/op is not programmatically accessible). Start it right before the timed
+// loop and read perOp after it.
+type allocMeter struct{ before uint64 }
+
+func startAllocMeter() allocMeter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return allocMeter{before: ms.TotalAlloc}
+}
+
+func (m allocMeter) perOp(n int) float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.TotalAlloc-m.before) / float64(n)
+}
+
 // recordMatrixBench merges one benchmark's headline metrics into
 // BENCH_matrix.json. Existing entries are loaded first so a partial -bench
 // run updates only the benchmarks it actually ran, preserving the rest of
@@ -398,6 +428,8 @@ func BenchmarkMatrixEightCells(b *testing.B) {
 	spec := benchMatrixSpec()
 	var m *harness.RunManifest
 	var err error
+	b.ReportAllocs()
+	meter := startAllocMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err = harness.Run(spec, harness.RunOptions{})
@@ -417,6 +449,7 @@ func BenchmarkMatrixEightCells(b *testing.B) {
 	recordMatrixBench(b, "MatrixEightCells", map[string]float64{
 		"cells":               float64(len(m.Cells)),
 		"ns_per_cell":         nsPerCell,
+		"bytes_per_op":        meter.perOp(b.N),
 		"schedule_cache_hits": float64(m.ScheduleCacheHits),
 		"maxav_avail_deg5":    avail5,
 	})
@@ -429,6 +462,7 @@ func BenchmarkMatrixFullPaper(b *testing.B) {
 	spec.Repeats = benchRepeats
 	var m *harness.RunManifest
 	var err error
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err = harness.Run(spec, harness.RunOptions{})
@@ -453,6 +487,7 @@ func BenchmarkMatrixSingleCell(b *testing.B) {
 	spec.Datasets = spec.Datasets[:1]
 	spec.Models = spec.Models[:1]
 	spec.Modes = spec.Modes[:1]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := harness.Run(spec, harness.RunOptions{}); err != nil {
@@ -490,6 +525,8 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 	}
 	var res *core.Result
 	var err error
+	b.ReportAllocs()
+	meter := startAllocMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err = core.Run(cfg)
@@ -503,6 +540,7 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 	b.ReportMetric(res.Value(0, 5, core.MetricAvailability), "maxav_avail_deg5")
 	recordMatrixBench(b, "MatrixSweepMaxAvConRep", map[string]float64{
 		"ns_per_cell":      nsPerCell,
+		"bytes_per_op":     meter.perOp(b.N),
 		"users":            float64(res.Users),
 		"maxav_avail_deg5": res.Value(0, 5, core.MetricAvailability),
 	})
@@ -523,6 +561,7 @@ func BenchmarkDHTLookup(b *testing.B) {
 		keys[i] = ring.Key(socialgraph.UserID(i * 3 % benchUsers))
 	}
 	totalHops := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from := socialgraph.UserID(i * 7 % benchUsers)
@@ -565,6 +604,7 @@ func BenchmarkMatrixSweepSocialDHT(b *testing.B) {
 		Schedules:  [][]interval.Set{schedules},
 	}
 	var res *core.Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err = core.Run(cfg)
@@ -600,6 +640,8 @@ func BenchmarkMatrixSmall(b *testing.B) {
 	}
 	var m *harness.RunManifest
 	var err error
+	b.ReportAllocs()
+	meter := startAllocMeter()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err = harness.Run(spec, harness.RunOptions{})
@@ -611,7 +653,63 @@ func BenchmarkMatrixSmall(b *testing.B) {
 	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
 	b.ReportMetric(nsPerCell, "ns/cell")
 	recordMatrixBench(b, "MatrixSmall", map[string]float64{
-		"cells":       float64(len(m.Cells)),
-		"ns_per_cell": nsPerCell,
+		"cells":        float64(len(m.Cells)),
+		"ns_per_cell":  nsPerCell,
+		"bytes_per_op": meter.perOp(b.N),
+	})
+}
+
+// BenchmarkMatrixLarge is the "large" scale the columnar dataset layer
+// exists for: two 100k-user datasets (the ROADMAP's first stop past the
+// paper's ~14k), one model, one mode — two cells end to end, dominated by
+// synthesis + schedule computation + the degree-10 sweep. Besides ns/cell it
+// records bytes_per_user, the columnar footprint (activity columns + CSR
+// indexes + graph adjacency) per synthesized user, measured on the same
+// facebook dataset the harness builds internally. Skipped under -short: CI's
+// smoke step exercises the small scales; this one is for workstation runs
+// (go test -bench MatrixLarge -benchtime 1x).
+func BenchmarkMatrixLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large scale (100k users/dataset) skipped in -short mode")
+	}
+	const largeUsers = 100_000
+	spec := harness.MatrixSpec{
+		Datasets: []harness.DatasetSpec{
+			{Name: "facebook", Users: largeUsers, Seed: 1},
+			{Name: "twitter", Users: largeUsers, Seed: 2},
+		},
+		Models:     []harness.ModelSpec{harness.Sporadic()},
+		Modes:      []string{"ConRep"},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		RootSeed:   benchSeed,
+	}
+	ds, err := dosn.SynthesizeCalibrated("facebook", largeUsers, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := ds.Stats()
+	bytesPerUser := float64(stats.Bytes) / float64(stats.Users)
+	var m *harness.RunManifest
+	b.ReportAllocs()
+	meter := startAllocMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err = harness.Run(spec, harness.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(nsPerCell, "ns/cell")
+	b.ReportMetric(bytesPerUser, "bytes/user")
+	recordMatrixBench(b, "MatrixLarge", map[string]float64{
+		"cells":          float64(len(m.Cells)),
+		"users_filtered": float64(stats.Users),
+		"ns_per_cell":    nsPerCell,
+		"bytes_per_op":   meter.perOp(b.N),
+		"bytes_per_user": bytesPerUser,
 	})
 }

@@ -1,24 +1,39 @@
 // Command benchguard compares a freshly measured BENCH_matrix.json against a
 // committed baseline and fails (exit 1) when a watched metric regresses past
 // the allowed ratio. CI runs it after the benchmark smoke step so a change
-// that blows up per-cell sweep cost fails the build instead of landing
-// silently.
+// that blows up per-cell sweep cost — or per-op allocation volume — fails the
+// build instead of landing silently.
 //
 // Usage:
 //
 //	benchguard -baseline BENCH_baseline.json -current BENCH_matrix.json \
 //	    -bench MatrixSmall -metric ns_per_cell -max-ratio 2
 //
-// The files hold the map[benchmark]map[metric]float64 layout the repository's
-// recordMatrixBench helper writes.
+//	benchguard -baseline BENCH_baseline.json -current BENCH_matrix.json \
+//	    -check MatrixSmall.ns_per_cell:2 -check MatrixSmall.bytes_per_op:2
+//
+// The repeatable -check flag ("bench.metric[:max-ratio]", ratio defaulting to
+// -max-ratio) evaluates several gates in one invocation — every gate is
+// checked and reported before the first failure exits. The files hold the
+// map[benchmark]map[metric]float64 layout the repository's recordMatrixBench
+// helper writes.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
+
+// checkList collects repeated -check flags.
+type checkList []string
+
+func (c *checkList) String() string     { return strings.Join(*c, ",") }
+func (c *checkList) Set(v string) error { *c = append(*c, v); return nil }
 
 func main() {
 	if err := run(); err != nil {
@@ -28,13 +43,15 @@ func main() {
 }
 
 func run() error {
+	var checks checkList
 	var (
 		baselinePath = flag.String("baseline", "", "baseline BENCH json (required)")
 		currentPath  = flag.String("current", "", "freshly measured BENCH json (required)")
-		bench        = flag.String("bench", "MatrixSmall", "benchmark entry to compare")
-		metric       = flag.String("metric", "ns_per_cell", "metric within the entry")
-		maxRatio     = flag.Float64("max-ratio", 2, "fail when current/baseline exceeds this")
+		bench        = flag.String("bench", "MatrixSmall", "benchmark entry to compare (ignored when -check is given)")
+		metric       = flag.String("metric", "ns_per_cell", "metric within the entry (ignored when -check is given)")
+		maxRatio     = flag.Float64("max-ratio", 2, "fail when current/baseline exceeds this (default ratio for -check)")
 	)
+	flag.Var(&checks, "check", "gate spec bench.metric[:max-ratio]; repeatable, evaluates all gates in one run")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		return fmt.Errorf("-baseline and -current are required")
@@ -47,11 +64,46 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	msg, err := compare(base, cur, *bench, *metric, *maxRatio)
-	if msg != "" {
-		fmt.Println(msg)
+	if len(checks) == 0 {
+		msg, err := compare(base, cur, *bench, *metric, *maxRatio)
+		if msg != "" {
+			fmt.Println(msg)
+		}
+		return err
 	}
-	return err
+	var failures []error
+	for _, spec := range checks {
+		b, m, r, err := parseCheck(spec, *maxRatio)
+		if err != nil {
+			return err
+		}
+		msg, err := compare(base, cur, b, m, r)
+		if msg != "" {
+			fmt.Println(msg)
+		}
+		if err != nil {
+			failures = append(failures, err)
+		}
+	}
+	return errors.Join(failures...)
+}
+
+// parseCheck splits one -check spec "bench.metric[:max-ratio]". The metric is
+// everything after the first dot (metric names contain no dots).
+func parseCheck(spec string, defaultRatio float64) (bench, metric string, maxRatio float64, err error) {
+	maxRatio = defaultRatio
+	if at := strings.LastIndexByte(spec, ':'); at >= 0 {
+		maxRatio, err = strconv.ParseFloat(spec[at+1:], 64)
+		if err != nil {
+			return "", "", 0, fmt.Errorf("bad -check ratio in %q: %v", spec, err)
+		}
+		spec = spec[:at]
+	}
+	dot := strings.IndexByte(spec, '.')
+	if dot <= 0 || dot == len(spec)-1 {
+		return "", "", 0, fmt.Errorf("bad -check %q (want bench.metric[:max-ratio])", spec)
+	}
+	return spec[:dot], spec[dot+1:], maxRatio, nil
 }
 
 func load(path string) (map[string]map[string]float64, error) {

@@ -45,6 +45,40 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestParseCheck(t *testing.T) {
+	tests := []struct {
+		spec       string
+		wantBench  string
+		wantMetric string
+		wantRatio  float64
+		wantErr    bool
+	}{
+		{spec: "MatrixSmall.ns_per_cell", wantBench: "MatrixSmall", wantMetric: "ns_per_cell", wantRatio: 2},
+		{spec: "MatrixSmall.bytes_per_op:3.5", wantBench: "MatrixSmall", wantMetric: "bytes_per_op", wantRatio: 3.5},
+		{spec: "DHTLookup.ns_per_lookup:2", wantBench: "DHTLookup", wantMetric: "ns_per_lookup", wantRatio: 2},
+		{spec: "nodot", wantErr: true},
+		{spec: ".metric", wantErr: true},
+		{spec: "bench.", wantErr: true},
+		{spec: "bench.metric:abc", wantErr: true},
+	}
+	for _, tt := range tests {
+		b, m, r, err := parseCheck(tt.spec, 2)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseCheck(%q) should fail", tt.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCheck(%q): %v", tt.spec, err)
+			continue
+		}
+		if b != tt.wantBench || m != tt.wantMetric || r != tt.wantRatio {
+			t.Errorf("parseCheck(%q) = %q %q %v", tt.spec, b, m, r)
+		}
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

@@ -50,7 +50,7 @@ func run() error {
 	var (
 		figID      = flag.String("fig", "", "figure to regenerate (fig2, fig3a, ..., fig11d), 'all', or 'list'")
 		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance | objective | history | churn | arch")
-		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933)")
+		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000)")
 		outDir     = flag.String("out", "", "directory for gnuplot .dat files (default: print to stdout)")
 		ascii      = flag.Bool("ascii", true, "render ASCII charts to stdout")
 		repeats    = flag.Int("repeats", 3, "randomized-run repetitions (paper uses 5)")
@@ -81,6 +81,12 @@ func run() error {
 	}
 }
 
+// LargeScaleUsers is the per-dataset user count of the "large" scale: an
+// order of magnitude past the paper's filtered traces, the first stop on the
+// ROADMAP's path toward million-user sweeps. The columnar dataset layer keeps
+// it inside a workstation's memory (see README "Dataset layout & memory").
+const LargeScaleUsers = 100_000
+
 func scaleUsers(scale string) (fb, tw int, err error) {
 	switch scale {
 	case "small":
@@ -89,8 +95,10 @@ func scaleUsers(scale string) (fb, tw int, err error) {
 		return 5000, 5000, nil
 	case "paper":
 		return dosn.PaperFacebookUsers, dosn.PaperTwitterUsers, nil
+	case "large":
+		return LargeScaleUsers, LargeScaleUsers, nil
 	default:
-		return 0, 0, fmt.Errorf("unknown scale %q (small|medium|paper)", scale)
+		return 0, 0, fmt.Errorf("unknown scale %q (small|medium|paper|large)", scale)
 	}
 }
 

@@ -16,6 +16,7 @@ func TestScaleUsers(t *testing.T) {
 		{scale: "small", fb: 2000, tw: 2000},
 		{scale: "medium", fb: 5000, tw: 5000},
 		{scale: "paper", fb: 13884, tw: 14933},
+		{scale: "large", fb: 100000, tw: 100000},
 		{scale: "huge", wantErr: true},
 		{scale: "", wantErr: true},
 	}

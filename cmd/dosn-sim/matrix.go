@@ -20,7 +20,7 @@ import (
 func runMatrix(args []string) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	var (
-		scale      = fs.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933)")
+		scale      = fs.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000)")
 		datasets   = fs.String("datasets", "facebook,twitter", "comma-separated datasets (facebook|twitter)")
 		models     = fs.String("models", "sporadic,random,fixed2,fixed4,fixed6,fixed8", "comma-separated models (sporadic[:SECONDS]|random|fixedN)")
 		modes      = fs.String("modes", "conrep,unconrep", "comma-separated modes (conrep|unconrep)")

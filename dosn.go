@@ -54,8 +54,15 @@ import (
 // Re-exported core types. The internal packages stay internal; these aliases
 // are the supported surface.
 type (
-	// Dataset joins a social graph with its activity trace.
+	// Dataset joins a social graph with its activity trace. Activities are
+	// stored columnar (struct-of-arrays with CSR per-user indexes; see the
+	// trace package doc): iterate with NumActivities/ActivityAt or the
+	// allocation-free CreatedIdx/ReceivedIdx/ForEachReceived accessors, and
+	// load rows with SetActivities/AppendActivity + Reindex.
 	Dataset = trace.Dataset
+	// Activity is the row view of one interaction record — the construction
+	// and serialization boundary of the columnar Dataset.
+	Activity = trace.Activity
 	// SynthConfig parameterizes synthetic dataset generation.
 	SynthConfig = trace.SynthConfig
 	// OnlineModel approximates per-user online times from activity.

@@ -95,7 +95,7 @@ func TestDatasetRoundTripThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadDataset: %v", err)
 	}
-	if back.NumUsers() != ds.NumUsers() || len(back.Activities) != len(ds.Activities) {
+	if back.NumUsers() != ds.NumUsers() || back.NumActivities() != ds.NumActivities() {
 		t.Error("round trip mismatch")
 	}
 }

@@ -21,17 +21,27 @@ import (
 // O(n log n) sort-and-merge with O(n) bit sets; both paths produce the same
 // normalized set.
 func ActivityMinutes(acts []trace.Activity) interval.Set {
-	if interval.PreferBitmap(len(acts)) {
+	minutes := make([]int, len(acts))
+	for i, a := range acts {
+		minutes[i] = a.MinuteOfDay()
+	}
+	return MinuteSet(minutes)
+}
+
+// MinuteSet is ActivityMinutes over pre-extracted minutes-of-day — the
+// columnar sweep path, which pulls minutes straight off the timestamp column
+// into a per-worker scratch slice and never materializes activity rows. Both
+// construction paths yield the same normalized set.
+func MinuteSet(minutes []int) interval.Set {
+	if interval.PreferBitmap(len(minutes)) {
 		var b interval.Bitmap
-		for _, a := range acts {
-			m := a.MinuteOfDay()
+		for _, m := range minutes {
 			b.AddInterval(interval.Interval{Start: m, End: m + 1})
 		}
 		return b.Set()
 	}
-	ivs := make([]interval.Interval, 0, len(acts))
-	for _, a := range acts {
-		m := a.MinuteOfDay()
+	ivs := make([]interval.Interval, 0, len(minutes))
+	for _, m := range minutes {
 		ivs = append(ivs, interval.Interval{Start: m, End: m + 1})
 	}
 	return interval.NewSet(ivs...)
@@ -180,16 +190,17 @@ func Churn(ds *trace.Dataset, model onlinetime.Model, budget, repeats int, seed 
 	}
 
 	rows := make([]ChurnRow, 0, 3)
+	var countScratch trace.CountScratch
 	for pi, p := range replica.DefaultPolicies() {
 		acc := make([]stats.Welford, budget+1)
 		for ui, u := range users {
 			in := replica.Input{
-				Owner:             u,
-				Candidates:        ds.Graph.Neighbors(u),
-				Schedules:         schedules,
-				InteractionCounts: ds.InteractionCounts(u),
-				Mode:              replica.ConRep,
-				Budget:            budget,
+				Owner:           u,
+				Candidates:      ds.Graph.Neighbors(u),
+				Schedules:       schedules,
+				CandidateCounts: ds.CandidateInteractionCounts(u, ds.Graph.Neighbors(u), &countScratch),
+				Mode:            replica.ConRep,
+				Budget:          budget,
 			}
 			rng := rand.New(rand.NewSource(mix(seed, int64(pi), int64(ui))))
 			replicas := p.Select(in, rng)

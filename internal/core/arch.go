@@ -175,6 +175,8 @@ func archHostLoad(cfg ArchConfig, p replica.Policy, schedules []interval.Set) (m
 	bitmaps := interval.BitmapsFromSets(schedules)
 	traits := replica.TraitsOf(p)
 	assignments := make(map[socialgraph.UserID][]socialgraph.UserID, ds.NumUsers())
+	var countScratch trace.CountScratch
+	var actMinutes []int
 	for u := 0; u < ds.NumUsers(); u++ {
 		uid := socialgraph.UserID(u)
 		in := replica.Input{
@@ -186,10 +188,14 @@ func archHostLoad(cfg ArchConfig, p replica.Policy, schedules []interval.Set) (m
 			Budget:     cfg.MaxDegree,
 		}
 		if traits.UsesInteractions {
-			in.InteractionCounts = ds.InteractionCounts(uid)
+			in.CandidateCounts = ds.CandidateInteractionCounts(uid, in.Candidates, &countScratch)
 		}
 		if traits.UsesDemand {
-			in.Demand = ActivityMinutes(ds.ReceivedBy(uid))
+			actMinutes = actMinutes[:0]
+			for _, k := range ds.ReceivedIdx(uid) {
+				actMinutes = append(actMinutes, ds.MinuteOfDayAt(int(k)))
+			}
+			in.Demand = MinuteSet(actMinutes)
 		}
 		var rng *rand.Rand
 		if traits.UsesRNG {

@@ -311,13 +311,14 @@ func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
 
 // sweepScratch holds one worker's reusable buffers: the incrementally grown
 // availability bitmap, the per-user demand bitmap, the received-activity
-// minutes, and the delay calculator's gap/distance matrices. Reusing it
-// across users removes every per-user metric allocation from the sweep hot
-// path.
+// minutes, the interaction-count buffers, and the delay calculator's
+// gap/distance matrices. Reusing it across users removes every per-user
+// metric allocation from the sweep hot path.
 type sweepScratch struct {
 	avail      interval.Bitmap
 	demand     interval.Bitmap
 	actMinutes []int
+	counts     trace.CountScratch
 	delay      metrics.DelayCalc
 }
 
@@ -331,7 +332,6 @@ type sweepScratch struct {
 func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
 	ds := cfg.Dataset
 	friends := ds.Graph.Neighbors(u)
-	received := ds.ReceivedBy(u)
 
 	var needCounts, needDemand bool
 	for _, p := range cfg.Policies {
@@ -349,11 +349,12 @@ func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, 
 	}
 	demandLen := scratch.demand.Minutes()
 
-	// Minutes-of-day of the received activities, computed once per user
-	// instead of once per (policy, degree) membership scan.
+	// Minutes-of-day of the received activities, pulled straight off the
+	// timestamp column once per user instead of once per (policy, degree)
+	// membership scan — no activity rows are materialized.
 	scratch.actMinutes = scratch.actMinutes[:0]
-	for _, a := range received {
-		scratch.actMinutes = append(scratch.actMinutes, a.MinuteOfDay())
+	for _, k := range ds.ReceivedIdx(u) {
+		scratch.actMinutes = append(scratch.actMinutes, ds.MinuteOfDayAt(int(k)))
 	}
 
 	in := replica.Input{
@@ -365,10 +366,10 @@ func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, 
 		Budget:     cfg.MaxDegree,
 	}
 	if needCounts {
-		in.InteractionCounts = ds.InteractionCounts(u)
+		in.CandidateCounts = ds.CandidateInteractionCounts(u, friends, &scratch.counts)
 	}
 	if needDemand {
-		in.Demand = ActivityMinutes(received)
+		in.Demand = MinuteSet(scratch.actMinutes)
 	}
 	for pi, p := range cfg.Policies {
 		var rng *rand.Rand

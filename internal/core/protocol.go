@@ -134,14 +134,16 @@ func RunProtocolValidation(cfg ProtocolConfig) (*ProtocolResult, error) {
 	analyticAoDTimeSum := 0.0
 	analyticAoDTimeCount := 0
 
+	var countScratch trace.CountScratch
+	var actMinutes []int
 	for i, u := range owners {
 		in := replica.Input{
-			Owner:             u,
-			Candidates:        ds.Graph.Neighbors(u),
-			Schedules:         schedules,
-			InteractionCounts: ds.InteractionCounts(u),
-			Mode:              cfg.Mode,
-			Budget:            cfg.Budget,
+			Owner:           u,
+			Candidates:      ds.Graph.Neighbors(u),
+			Schedules:       schedules,
+			CandidateCounts: ds.CandidateInteractionCounts(u, ds.Graph.Neighbors(u), &countScratch),
+			Mode:            cfg.Mode,
+			Budget:          cfg.Budget,
 		}
 		rng := rand.New(rand.NewSource(mix(cfg.Seed, 2, int64(i))))
 		replicas := cfg.Policy.Select(in, rng)
@@ -149,12 +151,16 @@ func RunProtocolValidation(cfg ProtocolConfig) (*ProtocolResult, error) {
 
 		analyticDelaySum += metrics.UpdatePropagationDelay(u, replicas, schedules).Hours
 		avail := metrics.AvailabilitySet(u, replicas, schedules)
-		received := ds.ReceivedBy(u)
-		if v, ok := metrics.AvailabilityOnDemandActivity(avail, received); ok {
+		received := ds.ReceivedIdx(u)
+		actMinutes = actMinutes[:0]
+		for _, k := range received {
+			actMinutes = append(actMinutes, ds.MinuteOfDayAt(int(k)))
+		}
+		if v, ok := metrics.AvailabilityOnDemandActivityMinutes(avail, actMinutes); ok {
 			analyticAoDSum += v
 			analyticAoDCount++
 		}
-		for _, a := range received {
+		ds.ForEachReceived(u, func(_ int, a trace.Activity) {
 			day := int(a.At.Sub(trace.Epoch).Hours()/24) % cfg.Days
 			if day < 0 {
 				day += cfg.Days
@@ -165,7 +171,7 @@ func RunProtocolValidation(cfg ProtocolConfig) (*ProtocolResult, error) {
 				Wall:    u,
 				Body:    "activity",
 			})
-		}
+		})
 		// Read workload: each friend accesses the profile once per day at a
 		// random minute of his own online time — by construction these
 		// reads sample the AoD-time demand set.
@@ -260,17 +266,18 @@ func ReplicaLoadBalance(ds *trace.Dataset, model onlinetime.Model, mode replica.
 	}
 	schedules := model.ScheduleAll(ds, rand.New(rand.NewSource(mix(seed, 11))))
 	rows := make([]LoadBalanceRow, 0, 3)
+	var countScratch trace.CountScratch
 	for pi, p := range replica.DefaultPolicies() {
 		assignments := make(map[socialgraph.UserID][]socialgraph.UserID, ds.NumUsers())
 		for u := 0; u < ds.NumUsers(); u++ {
 			uid := socialgraph.UserID(u)
 			in := replica.Input{
-				Owner:             uid,
-				Candidates:        ds.Graph.Neighbors(uid),
-				Schedules:         schedules,
-				InteractionCounts: ds.InteractionCounts(uid),
-				Mode:              mode,
-				Budget:            budget,
+				Owner:           uid,
+				Candidates:      ds.Graph.Neighbors(uid),
+				Schedules:       schedules,
+				CandidateCounts: ds.CandidateInteractionCounts(uid, ds.Graph.Neighbors(uid), &countScratch),
+				Mode:            mode,
+				Budget:          budget,
 			}
 			rng := rand.New(rand.NewSource(mix(seed, int64(pi), int64(u))))
 			assignments[uid] = p.Select(in, rng)

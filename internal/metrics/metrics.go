@@ -75,6 +75,23 @@ func AvailabilityOnDemandActivity(avail interval.Set, received []trace.Activity)
 	return float64(hit) / float64(len(received)), true
 }
 
+// AvailabilityOnDemandActivityMinutes is AvailabilityOnDemandActivity over
+// pre-extracted minutes-of-day (e.g. straight off a columnar dataset's
+// timestamp column), avoiding the activity-row materialization. The two
+// agree exactly for the same activities.
+func AvailabilityOnDemandActivityMinutes(avail interval.Set, minutes []int) (v float64, ok bool) {
+	if len(minutes) == 0 {
+		return 0, false
+	}
+	hit := 0
+	for _, m := range minutes {
+		if avail.Contains(m) {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(minutes)), true
+}
+
 // AvailabilityOnDemandMinutes is AvailabilityOnDemandActivity over the dense
 // availability representation and pre-extracted activity minutes-of-day:
 // each membership test is one bit probe instead of a binary search, and the

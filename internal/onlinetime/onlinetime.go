@@ -86,24 +86,24 @@ func (s Sporadic) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
 	sess := s.sessionMinutes()
 	out := make([]interval.Set, d.NumUsers())
 	for u := 0; u < d.NumUsers(); u++ {
-		acts := d.CreatedBy(socialgraph.UserID(u))
+		acts := d.CreatedIdx(socialgraph.UserID(u))
 		if len(acts) == 0 {
 			continue
 		}
 		if interval.PreferBitmap(len(acts)) {
 			var b interval.Bitmap
-			for _, a := range acts {
-				start := a.MinuteOfDay() - rng.Intn(sess)
+			for _, k := range acts {
+				start := d.MinuteOfDayAt(int(k)) - rng.Intn(sess)
 				b.AddInterval(interval.Interval{Start: start, End: start + sess})
 			}
 			out[u] = b.Set()
 			continue
 		}
 		windows := make([]interval.Interval, 0, len(acts))
-		for _, a := range acts {
+		for _, k := range acts {
 			// The activity happens at a uniformly random point inside the
 			// session, so the session starts up to sess-1 minutes earlier.
-			start := a.MinuteOfDay() - rng.Intn(sess)
+			start := d.MinuteOfDayAt(int(k)) - rng.Intn(sess)
 			windows = append(windows, interval.Interval{Start: start, End: start + sess})
 		}
 		out[u] = interval.NewSet(windows...)
@@ -180,20 +180,20 @@ func (r RandomLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.S
 // activityCenter returns the circular mean minute-of-day of the user's
 // created activities; ok is false when the user has none.
 func activityCenter(d *trace.Dataset, u socialgraph.UserID) (center int, ok bool) {
-	acts := d.CreatedBy(u)
+	acts := d.CreatedIdx(u)
 	if len(acts) == 0 {
 		return 0, false
 	}
 	var sx, sy float64
-	for _, a := range acts {
-		th := 2 * math.Pi * float64(a.MinuteOfDay()) / interval.DayMinutes
+	for _, k := range acts {
+		th := 2 * math.Pi * float64(d.MinuteOfDayAt(int(k))) / interval.DayMinutes
 		sx += math.Cos(th)
 		sy += math.Sin(th)
 	}
 	if math.Hypot(sx, sy) < 1e-9*float64(len(acts)) {
 		// Perfectly balanced activities (e.g. two opposite minutes): any
 		// center is as good as any other; use the first activity.
-		return acts[0].MinuteOfDay(), true
+		return d.MinuteOfDayAt(int(acts[0])), true
 	}
 	th := math.Atan2(sy, sx)
 	m := int(math.Round(th / (2 * math.Pi) * interval.DayMinutes))

@@ -19,7 +19,7 @@ func datasetWithMinutes(t *testing.T, minutes ...int) *trace.Dataset {
 	d := &trace.Dataset{Name: "test", Graph: b.Build()}
 	for i, m := range minutes {
 		at := trace.Epoch.Add(time.Duration(i)*24*time.Hour + time.Duration(m)*time.Minute)
-		d.Activities = append(d.Activities, trace.Activity{Creator: 0, Receiver: 1, At: at})
+		d.AppendActivity(trace.Activity{Creator: 0, Receiver: 1, At: at})
 	}
 	d.Reindex()
 	return d

@@ -58,6 +58,13 @@ type Input struct {
 	// InteractionCounts gives, per candidate, the number of activities the
 	// candidate created on the owner's profile. Only MostActive reads it.
 	InteractionCounts map[socialgraph.UserID]int
+	// CandidateCounts is the allocation-free form of InteractionCounts:
+	// CandidateCounts[i] is the interaction count of Candidates[i] (e.g.
+	// from trace.Dataset.CandidateInteractionCounts with a per-worker
+	// scratch). When set — it must then have len(Candidates) entries — it
+	// takes precedence over InteractionCounts; selections are identical
+	// either way.
+	CandidateCounts []int
 	// Demand is the set of minutes during which activity was observed on
 	// the owner's profile in the past. Only MaxAv with
 	// ObjectiveOnDemandActivity reads it (§III-A: the set-cover universe is
@@ -319,17 +326,30 @@ func (MostActive) Name() string { return "MostActive" }
 // Traits implements TraitedPolicy.
 func (MostActive) Traits() Traits { return Traits{UsesRNG: true, UsesInteractions: true} }
 
-// Select implements Policy.
+// countAt returns the interaction count of candidate position i, preferring
+// the positional CandidateCounts column over the map.
+func (in Input) countAt(i int) int {
+	if in.CandidateCounts != nil {
+		return in.CandidateCounts[i]
+	}
+	return in.InteractionCounts[in.Candidates[i]]
+}
+
+// Select implements Policy. Ranking runs over candidate positions so the
+// positional CandidateCounts column needs no ID lookups; with the map input
+// the comparisons — and therefore the selection — are exactly the same.
 func (MostActive) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
-	ranked := make([]socialgraph.UserID, len(in.Candidates))
-	copy(ranked, in.Candidates)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		ci := in.InteractionCounts[ranked[i]]
-		cj := in.InteractionCounts[ranked[j]]
+	ranked := make([]int, len(in.Candidates))
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		ci := in.countAt(ranked[a])
+		cj := in.countAt(ranked[b])
 		if ci != cj {
 			return ci > cj
 		}
-		return ranked[i] < ranked[j]
+		return in.Candidates[ranked[a]] < in.Candidates[ranked[b]]
 	})
 
 	chosen := make([]socialgraph.UserID, 0, in.Budget)
@@ -337,8 +357,9 @@ func (MostActive) Select(in Input, rng *rand.Rand) []socialgraph.UserID {
 	for len(chosen) < in.Budget {
 		// Highest-ranked eligible candidate with non-zero activity.
 		best := socialgraph.UserID(-1)
-		for _, c := range ranked {
-			if taken[c] || in.InteractionCounts[c] == 0 {
+		for _, i := range ranked {
+			c := in.Candidates[i]
+			if taken[c] || in.countAt(i) == 0 {
 				continue
 			}
 			if in.Mode == ConRep && !in.Connected(c, chosen) {

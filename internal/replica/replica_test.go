@@ -114,6 +114,36 @@ func TestMostActiveFillsWithRandom(t *testing.T) {
 	}
 }
 
+// TestMostActivePositionalCountsMatchMap verifies the allocation-free
+// CandidateCounts column selects exactly what the map input selects, across
+// modes, budgets and RNG seeds (the fallback-to-random path included).
+func TestMostActivePositionalCountsMatchMap(t *testing.T) {
+	counts := map[socialgraph.UserID]int{3: 7, 5: 4, 1: 1}
+	for _, mode := range []Mode{ConRep, UnconRep} {
+		for budget := 0; budget <= 5; budget++ {
+			for seed := int64(0); seed < 8; seed++ {
+				inMap := fixture(mode, budget)
+				inMap.InteractionCounts = counts
+				inPos := fixture(mode, budget)
+				inPos.CandidateCounts = make([]int, len(inPos.Candidates))
+				for i, c := range inPos.Candidates {
+					inPos.CandidateCounts[i] = counts[c]
+				}
+				got := MostActive{}.Select(inPos, rand.New(rand.NewSource(seed)))
+				want := MostActive{}.Select(inMap, rand.New(rand.NewSource(seed)))
+				if len(got) != len(want) {
+					t.Fatalf("mode %v budget %d seed %d: %v vs %v", mode, budget, seed, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("mode %v budget %d seed %d: %v vs %v", mode, budget, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestMostActiveConRepSkipsDisconnected(t *testing.T) {
 	in := fixture(ConRep, 2)
 	// Most active friend is the disconnected 3; ConRep must skip it.

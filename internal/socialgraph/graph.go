@@ -178,6 +178,21 @@ func (g *Graph) AverageDegree() float64 {
 	return float64(total) / float64(g.NumUsers())
 }
 
+// MemoryBytes estimates the resident size of the adjacency lists (backing-
+// array capacity), the graph's share of a dataset's memory footprint.
+func (g *Graph) MemoryBytes() int {
+	const idBytes = 4
+	const sliceHeader = 24
+	b := (cap(g.out) + cap(g.in)) * sliceHeader
+	for u := range g.out {
+		b += cap(g.out[u]) * idBytes
+	}
+	for u := range g.in {
+		b += cap(g.in[u]) * idBytes
+	}
+	return b
+}
+
 // DegreeHistogram returns counts[d] = number of users with degree d
 // (the series plotted in the paper's Fig. 2).
 func (g *Graph) DegreeHistogram() []int {

@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"dosn/internal/socialgraph"
 )
@@ -162,7 +161,12 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	for _, c := range counts {
 		est += c
 	}
-	d.Activities = make([]Activity, 0, est)
+	// Activities are generated per user, then sorted once — stably, so equal
+	// seconds keep generation order — and emitted into the columns already in
+	// timestamp order. Reindex's sortedness check then skips its permutation
+	// pass: synthetic data is never re-sorted.
+	rows := make([]genRow, 0, est)
+	epochUnix := Epoch.Unix()
 	zipf := newZipfSampler(cfg.AffinityZipfS)
 	for u := 0; u < cfg.Users; u++ {
 		targets := activityTargets(g, socialgraph.UserID(u))
@@ -177,18 +181,28 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 			recv := targets[perm[zipf.rank(rng, len(targets))]]
 			minute := sampleMinute(rng, homes[u], cfg)
 			day := rng.Intn(cfg.Days)
-			at := Epoch.Add(time.Duration(day)*24*time.Hour +
-				time.Duration(minute)*time.Minute +
-				time.Duration(rng.Intn(60))*time.Second)
-			d.Activities = append(d.Activities, Activity{
-				Creator:  socialgraph.UserID(u),
-				Receiver: recv,
-				At:       at,
+			atUnix := epochUnix + int64(day)*24*3600 + int64(minute)*60 + int64(rng.Intn(60))
+			rows = append(rows, genRow{
+				creator:  socialgraph.UserID(u),
+				receiver: recv,
+				atUnix:   atUnix,
 			})
 		}
 	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].atUnix < rows[j].atUnix })
+	d.grow(len(rows))
+	for _, r := range rows {
+		d.appendColumns(r.creator, r.receiver, r.atUnix)
+	}
 	d.Reindex()
 	return d, nil
+}
+
+// genRow is the synthesizer's transient row form before the sorted columns
+// are emitted.
+type genRow struct {
+	creator, receiver socialgraph.UserID
+	atUnix            int64
 }
 
 // activityTargets returns the users u's activities can land on: friends in

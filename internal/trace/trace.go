@@ -5,6 +5,26 @@
 // filtering step the paper applies, per-user interaction indexes used by the
 // MostActive policy, and CSV serialization.
 //
+// # Dataset layout
+//
+// A Dataset stores its activities column-wise (struct of arrays): three
+// parallel columns — creator, receiver (4-byte user IDs) and atUnix (8-byte
+// Unix seconds) — instead of a slice of row structs with 24-byte time.Time
+// stamps. Per-user lookup runs on CSR (compressed sparse row) indexes: one
+// offsets array of length NumUsers+1 plus one column of activity indexes per
+// direction, built in a single counting-sort pass by Reindex. The columnar
+// layout costs 16 bytes per activity plus 8 bytes per (activity, direction)
+// of index — roughly a third of the row-oriented representation it replaced —
+// and every accessor (CreatedIdx, ReceivedIdx, ForEachReceived,
+// CandidateInteractionCounts) returns views or fills caller-owned scratch, so
+// sweeping a dataset allocates nothing per user.
+//
+// Activity remains as a row view type: ActivityAt materializes one row on
+// demand, Rows the whole trace, and SetActivities loads rows back into
+// columns, so serialization and hand construction are lossless at second
+// resolution (the resolution of the CSV format; sub-second components are
+// truncated when rows are loaded).
+//
 // The original traces are not redistributable, so package trace also contains
 // synthetic generators (synth.go) calibrated to the statistics the paper
 // reports; DESIGN.md §4 documents the substitution.
@@ -15,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,7 +50,9 @@ var Epoch = time.Date(2009, time.September, 10, 0, 0, 0, 0, time.UTC)
 
 // Activity is one interaction record: a wall post (Facebook) or a tweet
 // mentioning another user (Twitter). Creator performed the action; Receiver
-// owns the profile the activity lands on.
+// owns the profile the activity lands on. Inside a Dataset activities live as
+// columns; Activity is the row view used at construction and serialization
+// boundaries.
 type Activity struct {
 	Creator  socialgraph.UserID `json:"creator"`
 	Receiver socialgraph.UserID `json:"receiver"`
@@ -46,122 +69,389 @@ func MinuteOfDay(t time.Time) int {
 	return utc.Hour()*60 + utc.Minute()
 }
 
+// minuteOfDayUnix returns the minute within the UTC day of a Unix-seconds
+// timestamp, in [0, 1440), agreeing with MinuteOfDay(time.Unix(sec, 0)) for
+// every sec, including instants before 1970.
+func minuteOfDayUnix(sec int64) int {
+	const daySeconds = 24 * 60 * 60
+	s := sec % daySeconds
+	if s < 0 {
+		s += daySeconds
+	}
+	return int(s / 60)
+}
+
 // Dataset joins a social graph with its activity trace. Build one with the
-// synthesizers, Read, or construct directly and call Reindex.
+// synthesizers, Read, or construct by hand (SetActivities/AppendActivity)
+// followed by Reindex.
 type Dataset struct {
 	// Name labels the dataset (e.g. "facebook", "twitter").
 	Name string
 	// Graph is the social graph; Neighbors(u) is u's replica-candidate set.
 	Graph *socialgraph.Graph
-	// Activities is the full trace in timestamp order.
-	Activities []Activity
 
-	byCreator  [][]int32 // indices into Activities, per creator
-	byReceiver [][]int32 // indices into Activities, per receiver
+	// Activity columns (struct of arrays), index-aligned, in timestamp order
+	// after Reindex.
+	creator  []socialgraph.UserID
+	receiver []socialgraph.UserID
+	atUnix   []int64 // Unix seconds
+
+	// CSR per-user indexes into the columns: user u's activities are
+	// idx[off[u]:off[u+1]], in timestamp order.
+	createdOff  []int32
+	createdIdx  []int32
+	receivedOff []int32
+	receivedIdx []int32
 }
 
-// Reindex (re)builds the per-user activity indexes and sorts activities by
-// timestamp. It must be called after constructing or mutating a Dataset by
-// hand; the synthesizers and Read do it automatically.
+// NumActivities returns the number of activities in the trace.
+func (d *Dataset) NumActivities() int { return len(d.atUnix) }
+
+// ActivityAt materializes the i-th activity (timestamp order after Reindex)
+// as a row view. It allocates nothing; the returned value is independent of
+// the dataset.
+func (d *Dataset) ActivityAt(i int) Activity {
+	return Activity{
+		Creator:  d.creator[i],
+		Receiver: d.receiver[i],
+		At:       time.Unix(d.atUnix[i], 0).UTC(),
+	}
+}
+
+// CreatorAt returns the creator column entry of activity i.
+func (d *Dataset) CreatorAt(i int) socialgraph.UserID { return d.creator[i] }
+
+// ReceiverAt returns the receiver column entry of activity i.
+func (d *Dataset) ReceiverAt(i int) socialgraph.UserID { return d.receiver[i] }
+
+// UnixAt returns the timestamp column entry of activity i in Unix seconds.
+func (d *Dataset) UnixAt(i int) int64 { return d.atUnix[i] }
+
+// MinuteOfDayAt returns the minute-of-day of activity i without materializing
+// a time.Time.
+func (d *Dataset) MinuteOfDayAt(i int) int { return minuteOfDayUnix(d.atUnix[i]) }
+
+// Rows materializes the whole trace as activity rows in column order. It is
+// the row<->column conversion boundary for serialization and tests; sweeps
+// should use the index accessors instead.
+func (d *Dataset) Rows() []Activity {
+	out := make([]Activity, d.NumActivities())
+	for i := range out {
+		out[i] = d.ActivityAt(i)
+	}
+	return out
+}
+
+// SetActivities replaces the trace with the given rows (truncating timestamps
+// to whole seconds, the serialization resolution). Call Reindex afterwards.
+func (d *Dataset) SetActivities(rows []Activity) {
+	d.creator = make([]socialgraph.UserID, len(rows))
+	d.receiver = make([]socialgraph.UserID, len(rows))
+	d.atUnix = make([]int64, len(rows))
+	for i, a := range rows {
+		d.creator[i] = a.Creator
+		d.receiver[i] = a.Receiver
+		d.atUnix[i] = a.At.Unix()
+	}
+	d.invalidate()
+}
+
+// AppendActivity appends one row (timestamp truncated to whole seconds).
+// Call Reindex when done mutating.
+func (d *Dataset) AppendActivity(a Activity) {
+	d.appendColumns(a.Creator, a.Receiver, a.At.Unix())
+}
+
+// appendColumns appends one activity given directly as column values.
+func (d *Dataset) appendColumns(creator, receiver socialgraph.UserID, atUnix int64) {
+	d.creator = append(d.creator, creator)
+	d.receiver = append(d.receiver, receiver)
+	d.atUnix = append(d.atUnix, atUnix)
+	d.invalidate()
+}
+
+// invalidate drops the CSR indexes after a column mutation.
+func (d *Dataset) invalidate() {
+	d.createdOff, d.createdIdx = nil, nil
+	d.receivedOff, d.receivedIdx = nil, nil
+}
+
+// grow reserves column capacity for n additional activities.
+func (d *Dataset) grow(n int) {
+	d.creator = slices.Grow(d.creator, n)
+	d.receiver = slices.Grow(d.receiver, n)
+	d.atUnix = slices.Grow(d.atUnix, n)
+}
+
+// Reindex sorts the activities by timestamp (stable, preserving insertion
+// order within equal seconds) and (re)builds the per-user CSR indexes in one
+// counting-sort pass per direction. It must be called after constructing or
+// mutating a Dataset by hand; the synthesizers and Read do it automatically.
+// Columns already in timestamp order — the synthesizers emit them that way —
+// skip the sort entirely after one O(n) check.
 func (d *Dataset) Reindex() {
-	sort.SliceStable(d.Activities, func(i, j int) bool {
-		return d.Activities[i].At.Before(d.Activities[j].At)
-	})
+	d.sortByTimestamp()
 	n := d.Graph.NumUsers()
-	d.byCreator = make([][]int32, n)
-	d.byReceiver = make([][]int32, n)
-	for i, a := range d.Activities {
-		if int(a.Creator) < n && a.Creator >= 0 {
-			d.byCreator[a.Creator] = append(d.byCreator[a.Creator], int32(i))
-		}
-		if int(a.Receiver) < n && a.Receiver >= 0 {
-			d.byReceiver[a.Receiver] = append(d.byReceiver[a.Receiver], int32(i))
+	d.createdOff, d.createdIdx = buildCSR(d.creator, n, d.createdOff, d.createdIdx)
+	d.receivedOff, d.receivedIdx = buildCSR(d.receiver, n, d.receivedOff, d.receivedIdx)
+}
+
+// sortByTimestamp stably sorts the three columns by atUnix. Already-sorted
+// columns (the synthesizer and Read fast path) are detected in one scan and
+// left untouched.
+func (d *Dataset) sortByTimestamp() {
+	if slices.IsSorted(d.atUnix) {
+		return
+	}
+	perm := make([]int32, len(d.atUnix))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		return d.atUnix[perm[i]] < d.atUnix[perm[j]]
+	})
+	creator := make([]socialgraph.UserID, len(perm))
+	receiver := make([]socialgraph.UserID, len(perm))
+	atUnix := make([]int64, len(perm))
+	for i, p := range perm {
+		creator[i] = d.creator[p]
+		receiver[i] = d.receiver[p]
+		atUnix[i] = d.atUnix[p]
+	}
+	d.creator, d.receiver, d.atUnix = creator, receiver, atUnix
+}
+
+// buildCSR builds the offsets+indexes arrays mapping each user in [0, n) to
+// the positions of its activities in the given column, one counting pass and
+// one fill pass, reusing the supplied backing arrays when large enough.
+// Out-of-range user IDs are skipped, matching the row-era index build.
+func buildCSR(col []socialgraph.UserID, n int, off, idx []int32) ([]int32, []int32) {
+	if cap(off) >= n+1 {
+		off = off[:n+1]
+		clear(off)
+	} else {
+		off = make([]int32, n+1)
+	}
+	total := 0
+	for _, u := range col {
+		if u >= 0 && int(u) < n {
+			off[u+1]++
+			total++
 		}
 	}
+	for u := 0; u < n; u++ {
+		off[u+1] += off[u]
+	}
+	if cap(idx) >= total {
+		idx = idx[:total]
+	} else {
+		idx = make([]int32, total)
+	}
+	// Fill using off[u] as a moving cursor, then shift the offsets back.
+	for i, u := range col {
+		if u >= 0 && int(u) < n {
+			idx[off[u]] = int32(i)
+			off[u]++
+		}
+	}
+	for u := n; u > 0; u-- {
+		off[u] = off[u-1]
+	}
+	off[0] = 0
+	return off, idx
 }
 
 // NumUsers returns the number of users in the dataset's graph.
 func (d *Dataset) NumUsers() int { return d.Graph.NumUsers() }
 
+// CreatedIdx returns the indexes (into the activity columns) of the
+// activities user u created, in timestamp order. The returned slice is a view
+// into the CSR index — no allocation — and must not be modified.
+func (d *Dataset) CreatedIdx(u socialgraph.UserID) []int32 {
+	return csrRow(d.createdOff, d.createdIdx, u)
+}
+
+// ReceivedIdx returns the indexes of the activities on user u's profile, in
+// timestamp order. The returned slice is a view into the CSR index — no
+// allocation — and must not be modified.
+func (d *Dataset) ReceivedIdx(u socialgraph.UserID) []int32 {
+	return csrRow(d.receivedOff, d.receivedIdx, u)
+}
+
+func csrRow(off, idx []int32, u socialgraph.UserID) []int32 {
+	if off == nil || u < 0 || int(u) >= len(off)-1 {
+		return nil
+	}
+	return idx[off[u]:off[u+1]]
+}
+
+// ForEachReceived calls fn for every activity on user u's profile in
+// timestamp order, passing the activity's column index and its row view. It
+// allocates nothing.
+func (d *Dataset) ForEachReceived(u socialgraph.UserID, fn func(i int, a Activity)) {
+	for _, k := range d.ReceivedIdx(u) {
+		fn(int(k), d.ActivityAt(int(k)))
+	}
+}
+
 // CreatedBy returns the activities user u created, in timestamp order.
+//
+// It copies rows out of the columns; sweep loops should use CreatedIdx (or
+// ForEachReceived for the receiver direction) instead. Kept as the legacy
+// row-oriented accessor; the columnar equivalence property tests compare the
+// index accessors against it.
 func (d *Dataset) CreatedBy(u socialgraph.UserID) []Activity {
-	return d.gather(d.byCreator, u)
+	return d.gather(d.CreatedIdx(u))
 }
 
 // ReceivedBy returns the activities on user u's profile, in timestamp order.
+// Like CreatedBy it copies; hot paths should use ReceivedIdx.
 func (d *Dataset) ReceivedBy(u socialgraph.UserID) []Activity {
-	return d.gather(d.byReceiver, u)
+	return d.gather(d.ReceivedIdx(u))
 }
 
-func (d *Dataset) gather(idx [][]int32, u socialgraph.UserID) []Activity {
-	if idx == nil || u < 0 || int(u) >= len(idx) {
+func (d *Dataset) gather(idx []int32) []Activity {
+	if idx == nil {
 		return nil
 	}
-	out := make([]Activity, len(idx[u]))
-	for i, k := range idx[u] {
-		out[i] = d.Activities[k]
+	out := make([]Activity, len(idx))
+	for i, k := range idx {
+		out[i] = d.ActivityAt(int(k))
 	}
 	return out
 }
 
 // CreatedCount returns how many activities u created (no allocation).
 func (d *Dataset) CreatedCount(u socialgraph.UserID) int {
-	if d.byCreator == nil || u < 0 || int(u) >= len(d.byCreator) {
-		return 0
+	return len(d.CreatedIdx(u))
+}
+
+// ReceivedCount returns how many activities landed on u's profile.
+func (d *Dataset) ReceivedCount(u socialgraph.UserID) int {
+	return len(d.ReceivedIdx(u))
+}
+
+// CountScratch holds the reusable buffers of CandidateInteractionCounts so a
+// sweep can count interactions for every user without allocating. The zero
+// value is ready; buffers grow to the largest user seen.
+type CountScratch struct {
+	counts   []int
+	creators []socialgraph.UserID
+}
+
+// CandidateInteractionCounts counts, for each candidate, the activities that
+// candidate created on u's profile — the MostActive ranking signal (paper
+// §III-B) — writing into s's buffers and returning a slice aligned with
+// candidates (valid until the next call with the same scratch). candidates
+// must be sorted ascending and duplicate-free, which socialgraph.Neighbors
+// guarantees. The creators of u's received activities are copy-sorted once
+// and merged against the candidate list, so the cost is O(k log k + k + c)
+// with zero steady-state allocations.
+func (d *Dataset) CandidateInteractionCounts(u socialgraph.UserID, candidates []socialgraph.UserID, s *CountScratch) []int {
+	if cap(s.counts) >= len(candidates) {
+		s.counts = s.counts[:len(candidates)]
+		clear(s.counts)
+	} else {
+		s.counts = make([]int, len(candidates))
 	}
-	return len(d.byCreator[u])
+	ks := d.ReceivedIdx(u)
+	if len(ks) == 0 || len(candidates) == 0 {
+		return s.counts
+	}
+	s.creators = s.creators[:0]
+	for _, k := range ks {
+		s.creators = append(s.creators, d.creator[k])
+	}
+	slices.Sort(s.creators)
+	// Merge the sorted creator multiset against the sorted candidate list.
+	ci := 0
+	for i := 0; i < len(s.creators); {
+		c := s.creators[i]
+		j := i + 1
+		for j < len(s.creators) && s.creators[j] == c {
+			j++
+		}
+		for ci < len(candidates) && candidates[ci] < c {
+			ci++
+		}
+		if ci < len(candidates) && candidates[ci] == c {
+			s.counts[ci] = j - i
+		}
+		i = j
+	}
+	return s.counts
 }
 
 // InteractionCounts returns, for each friend/follower f of u, the number of
 // activities f created on u's profile — the ranking signal for the
-// MostActive replica-selection policy (paper §III-B).
+// MostActive replica-selection policy (paper §III-B). Only friends with a
+// non-zero count appear. It allocates a map per call; sweep loops should use
+// CandidateInteractionCounts with a reusable scratch instead.
 func (d *Dataset) InteractionCounts(u socialgraph.UserID) map[socialgraph.UserID]int {
 	counts := make(map[socialgraph.UserID]int)
-	if d.byReceiver == nil || u < 0 || int(u) >= len(d.byReceiver) {
-		return counts
-	}
 	neighbors := d.Graph.Neighbors(u)
-	isNeighbor := make(map[socialgraph.UserID]bool, len(neighbors))
-	for _, f := range neighbors {
-		isNeighbor[f] = true
-	}
-	for _, k := range d.byReceiver[u] {
-		c := d.Activities[k].Creator
-		if isNeighbor[c] {
-			counts[c]++
+	var s CountScratch
+	for i, c := range d.CandidateInteractionCounts(u, neighbors, &s) {
+		if c > 0 {
+			counts[neighbors[i]] = c
 		}
 	}
 	return counts
 }
 
-// ReceivedByBetween returns the activities on u's profile with timestamps in
-// [from, to), in timestamp order.
-func (d *Dataset) ReceivedByBetween(u socialgraph.UserID, from, to time.Time) []Activity {
-	var out []Activity
-	for _, a := range d.ReceivedBy(u) {
-		if !a.At.Before(from) && a.At.Before(to) {
-			out = append(out, a)
-		}
+// secondsCeil returns the smallest whole-second Unix timestamp not before t,
+// so that for any whole-second activity instant a: a >= t ⟺ aUnix >=
+// secondsCeil(t). This keeps the half-open interval accessors exact even for
+// sub-second boundary instants (e.g. the HistorySplit ablation's fractional
+// train/eval split).
+func secondsCeil(t time.Time) int64 {
+	s := t.Unix()
+	if t.Nanosecond() > 0 {
+		s++
 	}
-	return out
+	return s
+}
+
+// receivedRange returns the subrange of u's received-activity index list
+// whose timestamps fall in the half-open interval [from, to). The list is in
+// timestamp order, so both bounds are binary searches.
+func (d *Dataset) receivedRange(u socialgraph.UserID, from, to time.Time) []int32 {
+	ks := d.ReceivedIdx(u)
+	if len(ks) == 0 {
+		return nil
+	}
+	fromSec, toSec := secondsCeil(from), secondsCeil(to)
+	lo := sort.Search(len(ks), func(i int) bool { return d.atUnix[ks[i]] >= fromSec })
+	hi := sort.Search(len(ks), func(i int) bool { return d.atUnix[ks[i]] >= toSec })
+	if hi <= lo {
+		return nil // empty range (including from >= to), as the row-era loop yielded
+	}
+	return ks[lo:hi]
+}
+
+// ReceivedByBetween returns the activities on u's profile with timestamps in
+// the half-open interval [from, to), in timestamp order. from == to (or from
+// after to) yields nothing, an activity exactly at `to` is excluded, and an
+// out-of-range u yields nil, exactly as the pre-columnar implementation
+// behaved (pinned by TestReceivedByBetweenSemantics).
+func (d *Dataset) ReceivedByBetween(u socialgraph.UserID, from, to time.Time) []Activity {
+	return d.gather(d.receivedRange(u, from, to))
 }
 
 // InteractionCountsBetween is InteractionCounts restricted to activities
 // with timestamps in [from, to) — the "pre-defined time frame in the past"
-// the MostActive policy ranks on (§III-B).
+// the MostActive policy ranks on (§III-B). Like ReceivedByBetween it is
+// half-open; it always returns a non-nil map.
 func (d *Dataset) InteractionCountsBetween(u socialgraph.UserID, from, to time.Time) map[socialgraph.UserID]int {
 	counts := make(map[socialgraph.UserID]int)
 	neighbors := d.Graph.Neighbors(u)
-	isNeighbor := make(map[socialgraph.UserID]bool, len(neighbors))
-	for _, f := range neighbors {
-		isNeighbor[f] = true
+	if len(neighbors) == 0 {
+		return counts
 	}
-	for _, a := range d.ReceivedBy(u) {
-		if a.At.Before(from) || !a.At.Before(to) {
-			continue
-		}
-		if isNeighbor[a.Creator] {
-			counts[a.Creator]++
+	for _, k := range d.receivedRange(u, from, to) {
+		c := d.creator[k]
+		if _, ok := slices.BinarySearch(neighbors, c); ok {
+			counts[c]++
 		}
 	}
 	return counts
@@ -170,11 +460,11 @@ func (d *Dataset) InteractionCountsBetween(u socialgraph.UserID, from, to time.T
 // TimeBounds returns the first and one-past-last activity instants. ok is
 // false for an empty trace.
 func (d *Dataset) TimeBounds() (from, to time.Time, ok bool) {
-	if len(d.Activities) == 0 {
+	if d.NumActivities() == 0 {
 		return time.Time{}, time.Time{}, false
 	}
-	first := d.Activities[0].At
-	last := d.Activities[len(d.Activities)-1].At
+	first := time.Unix(d.atUnix[0], 0).UTC()
+	last := time.Unix(d.atUnix[len(d.atUnix)-1], 0).UTC()
 	return first, last.Add(time.Second), true
 }
 
@@ -195,15 +485,29 @@ func (d *Dataset) FilterMinActivity(min int) *Dataset {
 		remap[oldID] = socialgraph.UserID(newID)
 	}
 	out := &Dataset{Name: d.Name, Graph: sub}
-	for _, a := range d.Activities {
-		nc, okC := remap[a.Creator]
-		nr, okR := remap[a.Receiver]
+	for i := range d.creator {
+		nc, okC := remap[d.creator[i]]
+		nr, okR := remap[d.receiver[i]]
 		if okC && okR {
-			out.Activities = append(out.Activities, Activity{Creator: nc, Receiver: nr, At: a.At})
+			out.appendColumns(nc, nr, d.atUnix[i])
 		}
 	}
-	out.Reindex()
+	out.Reindex() // input order is already timestamp order: no re-sort
 	return out
+}
+
+// MemoryBytes estimates the resident size of the dataset: activity columns,
+// CSR indexes, and the graph's adjacency lists. It counts backing-array
+// capacity, the figure that matters for how far a sweep can scale.
+func (d *Dataset) MemoryBytes() int {
+	const idBytes, tsBytes = 4, 8
+	b := (cap(d.creator) + cap(d.receiver)) * idBytes
+	b += cap(d.atUnix) * tsBytes
+	b += (cap(d.createdOff) + cap(d.createdIdx) + cap(d.receivedOff) + cap(d.receivedIdx)) * 4
+	if d.Graph != nil {
+		b += d.Graph.MemoryBytes()
+	}
+	return b
 }
 
 // Stats summarizes a dataset the way the paper reports its traces.
@@ -214,6 +518,8 @@ type Stats struct {
 	Activities        int
 	ActivitiesPerUser float64
 	Span              time.Duration
+	// Bytes is the estimated resident size (MemoryBytes).
+	Bytes int
 }
 
 // Stats computes summary statistics for the dataset.
@@ -222,35 +528,70 @@ func (d *Dataset) Stats() Stats {
 		Users:         d.NumUsers(),
 		Edges:         d.Graph.NumEdges(),
 		AverageDegree: d.Graph.AverageDegree(),
-		Activities:    len(d.Activities),
+		Activities:    d.NumActivities(),
+		Bytes:         d.MemoryBytes(),
 	}
 	if s.Users > 0 {
 		s.ActivitiesPerUser = float64(s.Activities) / float64(s.Users)
 	}
-	if len(d.Activities) > 1 {
-		s.Span = d.Activities[len(d.Activities)-1].At.Sub(d.Activities[0].At)
+	if n := len(d.atUnix); n > 1 {
+		s.Span = time.Duration(d.atUnix[n-1]-d.atUnix[0]) * time.Second
 	}
 	return s
 }
 
 // String renders the stats as a single line.
 func (s Stats) String() string {
-	return fmt.Sprintf("users=%d edges=%d avgDegree=%.1f activities=%d perUser=%.1f span=%s",
-		s.Users, s.Edges, s.AverageDegree, s.Activities, s.ActivitiesPerUser, s.Span)
+	return fmt.Sprintf("users=%d edges=%d avgDegree=%.1f activities=%d perUser=%.1f span=%s mem=%.1fMB",
+		s.Users, s.Edges, s.AverageDegree, s.Activities, s.ActivitiesPerUser, s.Span,
+		float64(s.Bytes)/(1<<20))
 }
 
 // ErrBadTraceFormat is returned by ReadActivities for malformed input.
 var ErrBadTraceFormat = errors.New("trace: malformed activity file")
 
+// writeActivityHeader and writeActivityRecord define the on-disk activity
+// CSV format in one place; WriteActivities (rows) and writeActivityColumns
+// (columns) are two loops over the same record layout, and ReadActivities is
+// the matching parser.
+func writeActivityHeader(bw *bufio.Writer, n int) error {
+	if _, err := fmt.Fprintf(bw, "# dosn-activities %d\n", n); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	return nil
+}
+
+func writeActivityRecord(bw *bufio.Writer, creator, receiver socialgraph.UserID, atUnix int64) error {
+	if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", creator, receiver, atUnix); err != nil {
+		return fmt.Errorf("write activity: %w", err)
+	}
+	return nil
+}
+
 // WriteActivities writes the trace as "creator,receiver,unixSeconds" CSV.
 func WriteActivities(w io.Writer, activities []Activity) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# dosn-activities %d\n", len(activities)); err != nil {
-		return fmt.Errorf("write header: %w", err)
+	if err := writeActivityHeader(bw, len(activities)); err != nil {
+		return err
 	}
 	for _, a := range activities {
-		if _, err := fmt.Fprintf(bw, "%d,%d,%d\n", a.Creator, a.Receiver, a.At.Unix()); err != nil {
-			return fmt.Errorf("write activity: %w", err)
+		if err := writeActivityRecord(bw, a.Creator, a.Receiver, a.At.Unix()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeActivityColumns streams the columns in the WriteActivities format
+// without materializing rows.
+func (d *Dataset) writeActivityColumns(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeActivityHeader(bw, d.NumActivities()); err != nil {
+		return err
+	}
+	for i := range d.atUnix {
+		if err := writeActivityRecord(bw, d.creator[i], d.receiver[i], d.atUnix[i]); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -308,7 +649,7 @@ func (d *Dataset) Write(graphW, actW io.Writer) error {
 	if err := d.Graph.WriteEdges(graphW); err != nil {
 		return fmt.Errorf("dataset %q graph: %w", d.Name, err)
 	}
-	if err := WriteActivities(actW, d.Activities); err != nil {
+	if err := d.writeActivityColumns(actW); err != nil {
 		return fmt.Errorf("dataset %q activities: %w", d.Name, err)
 	}
 	return nil
@@ -324,7 +665,8 @@ func Read(name string, graphR, actR io.Reader) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset %q activities: %w", name, err)
 	}
-	d := &Dataset{Name: name, Graph: g, Activities: acts}
+	d := &Dataset{Name: name, Graph: g}
+	d.SetActivities(acts)
 	d.Reindex()
 	return d, nil
 }

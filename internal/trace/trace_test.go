@@ -18,25 +18,22 @@ func tinyDataset(t *testing.T) *Dataset {
 	b.AddEdge(0, 2)
 	b.AddEdge(1, 2)
 	b.AddEdge(2, 3)
-	d := &Dataset{
-		Name:  "tiny",
-		Graph: b.Build(),
-		Activities: []Activity{
-			{Creator: 1, Receiver: 0, At: Epoch.Add(3 * time.Hour)},
-			{Creator: 2, Receiver: 0, At: Epoch.Add(1 * time.Hour)},
-			{Creator: 1, Receiver: 0, At: Epoch.Add(2 * time.Hour)},
-			{Creator: 0, Receiver: 1, At: Epoch.Add(4 * time.Hour)},
-			{Creator: 3, Receiver: 2, At: Epoch.Add(5 * time.Hour)},
-		},
-	}
+	d := &Dataset{Name: "tiny", Graph: b.Build()}
+	d.SetActivities([]Activity{
+		{Creator: 1, Receiver: 0, At: Epoch.Add(3 * time.Hour)},
+		{Creator: 2, Receiver: 0, At: Epoch.Add(1 * time.Hour)},
+		{Creator: 1, Receiver: 0, At: Epoch.Add(2 * time.Hour)},
+		{Creator: 0, Receiver: 1, At: Epoch.Add(4 * time.Hour)},
+		{Creator: 3, Receiver: 2, At: Epoch.Add(5 * time.Hour)},
+	})
 	d.Reindex()
 	return d
 }
 
 func TestReindexSortsByTime(t *testing.T) {
 	d := tinyDataset(t)
-	for i := 1; i < len(d.Activities); i++ {
-		if d.Activities[i].At.Before(d.Activities[i-1].At) {
+	for i := 1; i < d.NumActivities(); i++ {
+		if d.UnixAt(i) < d.UnixAt(i-1) {
 			t.Fatal("activities not sorted by timestamp")
 		}
 	}
@@ -95,13 +92,13 @@ func TestFilterMinActivity(t *testing.T) {
 	if f.NumUsers() != 1 {
 		t.Fatalf("filtered users = %d, want 1", f.NumUsers())
 	}
-	if len(f.Activities) != 0 {
-		t.Errorf("activities between dropped users must vanish, got %d", len(f.Activities))
+	if f.NumActivities() != 0 {
+		t.Errorf("activities between dropped users must vanish, got %d", f.NumActivities())
 	}
 	// min 1 keeps everyone.
 	all := d.FilterMinActivity(1)
-	if all.NumUsers() != 4 || len(all.Activities) != 5 {
-		t.Errorf("min=1 should keep everything: %d users, %d acts", all.NumUsers(), len(all.Activities))
+	if all.NumUsers() != 4 || all.NumActivities() != 5 {
+		t.Errorf("min=1 should keep everything: %d users, %d acts", all.NumUsers(), all.NumActivities())
 	}
 	// IDs must be remapped densely and edges preserved within kept set.
 	if all.Graph.NumEdges() != d.Graph.NumEdges() {
@@ -136,11 +133,11 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
-	if d2.NumUsers() != d.NumUsers() || len(d2.Activities) != len(d.Activities) {
-		t.Fatalf("round trip: %d users %d acts", d2.NumUsers(), len(d2.Activities))
+	if d2.NumUsers() != d.NumUsers() || d2.NumActivities() != d.NumActivities() {
+		t.Fatalf("round trip: %d users %d acts", d2.NumUsers(), d2.NumActivities())
 	}
-	for i := range d.Activities {
-		a, b := d.Activities[i], d2.Activities[i]
+	for i := 0; i < d.NumActivities(); i++ {
+		a, b := d.ActivityAt(i), d2.ActivityAt(i)
 		if a.Creator != b.Creator || a.Receiver != b.Receiver || !a.At.Equal(b.At) {
 			t.Fatalf("activity %d mismatch: %+v vs %+v", i, a, b)
 		}
@@ -194,7 +191,7 @@ func TestSynthesizeFacebookSmall(t *testing.T) {
 	}
 	// All activities stay within the configured day span.
 	last := Epoch.Add(time.Duration(cfg.Days) * 24 * time.Hour)
-	for _, a := range d.Activities {
+	for _, a := range d.Rows() {
 		if a.At.Before(Epoch) || !a.At.Before(last) {
 			t.Fatalf("activity at %v outside [%v,%v)", a.At, Epoch, last)
 		}
@@ -226,11 +223,11 @@ func TestSynthesizeDeterministic(t *testing.T) {
 	cfg := DefaultFacebookConfig(120)
 	d1 := MustSynthesize(cfg)
 	d2 := MustSynthesize(cfg)
-	if len(d1.Activities) != len(d2.Activities) {
-		t.Fatalf("activity counts differ: %d vs %d", len(d1.Activities), len(d2.Activities))
+	if d1.NumActivities() != d2.NumActivities() {
+		t.Fatalf("activity counts differ: %d vs %d", d1.NumActivities(), d2.NumActivities())
 	}
-	for i := range d1.Activities {
-		if d1.Activities[i] != d2.Activities[i] {
+	for i := 0; i < d1.NumActivities(); i++ {
+		if d1.ActivityAt(i) != d2.ActivityAt(i) {
 			t.Fatalf("activity %d differs", i)
 		}
 	}
