@@ -21,7 +21,6 @@ import (
 	"dosn/internal/core"
 	"dosn/internal/dht"
 	"dosn/internal/harness"
-	"dosn/internal/interval"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/socialgraph"
@@ -511,7 +510,7 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 	s := suite(b)
 	ds := s.Facebook
 	model := onlinetime.Sporadic{}
-	schedules := onlinetime.Compute(model, ds, benchSeed)
+	table := onlinetime.ComputeTable(model, ds, benchSeed, 1)
 	cfg := core.Config{
 		Dataset:    ds,
 		Model:      model,
@@ -521,7 +520,7 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 		UserDegree: 10,
 		Repeats:    benchRepeats,
 		Seed:       benchSeed,
-		Schedules:  [][]interval.Set{schedules},
+		Schedules:  []*onlinetime.Table{table},
 	}
 	var res *core.Result
 	var err error
@@ -591,7 +590,7 @@ func BenchmarkMatrixSweepSocialDHT(b *testing.B) {
 		b.Fatal(err)
 	}
 	model := onlinetime.Sporadic{}
-	schedules := onlinetime.Compute(model, ds, benchSeed)
+	table := onlinetime.ComputeTable(model, ds, benchSeed, 1)
 	cfg := core.Config{
 		Dataset:    ds,
 		Model:      model,
@@ -601,7 +600,7 @@ func BenchmarkMatrixSweepSocialDHT(b *testing.B) {
 		UserDegree: 10,
 		Repeats:    benchRepeats,
 		Seed:       benchSeed,
-		Schedules:  [][]interval.Set{schedules},
+		Schedules:  []*onlinetime.Table{table},
 	}
 	var res *core.Result
 	b.ReportAllocs()
@@ -620,6 +619,42 @@ func BenchmarkMatrixSweepSocialDHT(b *testing.B) {
 		"ns_per_cell":          nsPerCell,
 		"users":                float64(res.Users),
 		"socialdht_avail_deg5": res.Value(0, 5, core.MetricAvailability),
+	})
+}
+
+// BenchmarkScheduleAllLarge isolates the schedule pipeline the arena table
+// exists for: one Sporadic BuildTable over a large facebook dataset, dataset
+// synthesis outside the timed loop. Under -short it runs at a reduced scale
+// so CI can exercise (and benchguard can gate) the same code path; the
+// recorded ns_per_user and bytes_per_user figures are per-user exactly so
+// the gate compares across scales.
+func BenchmarkScheduleAllLarge(b *testing.B) {
+	users := 100_000
+	if testing.Short() {
+		users = 12_000
+	}
+	ds, err := dosn.SynthesizeCalibrated("facebook", users, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := onlinetime.Sporadic{}
+	var table *onlinetime.Table
+	b.ReportAllocs()
+	meter := startAllocMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table = onlinetime.ComputeTable(model, ds, benchSeed, runtime.NumCPU())
+	}
+	b.StopTimer()
+	nsPerUser := float64(b.Elapsed().Nanoseconds()) / float64(b.N*ds.NumUsers())
+	bytesPerUser := meter.perOp(b.N) / float64(ds.NumUsers())
+	b.ReportMetric(nsPerUser, "ns/user")
+	b.ReportMetric(float64(table.MemoryBytes())/float64(ds.NumUsers()), "arena_bytes/user")
+	recordMatrixBench(b, "ScheduleAllLarge", map[string]float64{
+		"users":            float64(ds.NumUsers()),
+		"ns_per_user":      nsPerUser,
+		"bytes_per_user":   bytesPerUser,
+		"arena_bytes_user": float64(table.MemoryBytes()) / float64(ds.NumUsers()),
 	})
 }
 

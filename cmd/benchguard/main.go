@@ -12,11 +12,19 @@
 //	benchguard -baseline BENCH_baseline.json -current BENCH_matrix.json \
 //	    -check MatrixSmall.ns_per_cell:2 -check MatrixSmall.bytes_per_op:2
 //
-// The repeatable -check flag ("bench.metric[:max-ratio]", ratio defaulting to
-// -max-ratio) evaluates several gates in one invocation — every gate is
-// checked and reported before the first failure exits. The files hold the
-// map[benchmark]map[metric]float64 layout the repository's recordMatrixBench
-// helper writes.
+//	benchguard -baseline BENCH_baseline.json -current BENCH_matrix.json \
+//	    -check MatrixLarge.ns_per_cell@MatrixLarge_prePR:0.75
+//
+// The repeatable -check flag ("bench.metric[@baseline-bench][:max-ratio]",
+// ratio defaulting to -max-ratio) evaluates several gates in one invocation —
+// every gate is checked and reported before the first failure exits. The
+// optional "@baseline-bench" reads the baseline value from a different entry
+// name, which turns pinned pre-refactor figures (the *_prePR entries) into
+// hard ratio gates: unlike a same-name check — vacuous when the watched
+// benchmark did not rerun, since current then still equals baseline — a
+// pinned-entry check holds whatever numbers are committed to the ratio. The
+// files hold the map[benchmark]map[metric]float64 layout the repository's
+// recordMatrixBench helper writes.
 package main
 
 import (
@@ -73,11 +81,11 @@ func run() error {
 	}
 	var failures []error
 	for _, spec := range checks {
-		b, m, r, err := parseCheck(spec, *maxRatio)
+		b, m, baseBench, r, err := parseCheck(spec, *maxRatio)
 		if err != nil {
 			return err
 		}
-		msg, err := compare(base, cur, b, m, r)
+		msg, err := compareEntries(base, cur, baseBench, b, m, r)
 		if msg != "" {
 			fmt.Println(msg)
 		}
@@ -88,22 +96,36 @@ func run() error {
 	return errors.Join(failures...)
 }
 
-// parseCheck splits one -check spec "bench.metric[:max-ratio]". The metric is
-// everything after the first dot (metric names contain no dots).
-func parseCheck(spec string, defaultRatio float64) (bench, metric string, maxRatio float64, err error) {
+// parseCheck splits one -check spec "bench.metric[@baseline-bench][:max-ratio]".
+// The metric is everything after the first dot up to an optional '@' (metric
+// and benchmark names contain neither dots, '@' nor ':'). baseBench defaults
+// to bench: the usual same-entry regression gate.
+func parseCheck(spec string, defaultRatio float64) (bench, metric, baseBench string, maxRatio float64, err error) {
+	orig := spec // error messages must quote the flag as the operator wrote it
 	maxRatio = defaultRatio
 	if at := strings.LastIndexByte(spec, ':'); at >= 0 {
 		maxRatio, err = strconv.ParseFloat(spec[at+1:], 64)
 		if err != nil {
-			return "", "", 0, fmt.Errorf("bad -check ratio in %q: %v", spec, err)
+			return "", "", "", 0, fmt.Errorf("bad -check ratio in %q: %v", orig, err)
 		}
 		spec = spec[:at]
 	}
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		baseBench = spec[at+1:]
+		spec = spec[:at]
+		if baseBench == "" {
+			return "", "", "", 0, fmt.Errorf("bad -check %q (empty baseline bench after '@')", orig)
+		}
+	}
 	dot := strings.IndexByte(spec, '.')
 	if dot <= 0 || dot == len(spec)-1 {
-		return "", "", 0, fmt.Errorf("bad -check %q (want bench.metric[:max-ratio])", spec)
+		return "", "", "", 0, fmt.Errorf("bad -check %q (want bench.metric[@baseline-bench][:max-ratio])", orig)
 	}
-	return spec[:dot], spec[dot+1:], maxRatio, nil
+	bench, metric = spec[:dot], spec[dot+1:]
+	if baseBench == "" {
+		baseBench = bench
+	}
+	return bench, metric, baseBench, maxRatio, nil
 }
 
 func load(path string) (map[string]map[string]float64, error) {
@@ -118,28 +140,39 @@ func load(path string) (map[string]map[string]float64, error) {
 	return out, nil
 }
 
-// compare checks one metric of one benchmark entry. It returns a
-// human-readable verdict and a non-nil error on regression or missing data.
+// compare checks one metric of one benchmark entry against the same-named
+// baseline entry.
 func compare(base, cur map[string]map[string]float64, bench, metric string, maxRatio float64) (string, error) {
+	return compareEntries(base, cur, bench, bench, metric, maxRatio)
+}
+
+// compareEntries checks current[bench][metric] against
+// baseline[baseBench][metric]. It returns a human-readable verdict and a
+// non-nil error on regression or missing data.
+func compareEntries(base, cur map[string]map[string]float64, baseBench, bench, metric string, maxRatio float64) (string, error) {
 	if maxRatio <= 0 {
 		return "", fmt.Errorf("max-ratio must be positive, got %v", maxRatio)
 	}
-	bv, ok := base[bench][metric]
+	bv, ok := base[baseBench][metric]
 	if !ok {
-		return "", fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", bench, metric)
+		return "", fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", baseBench, metric)
 	}
 	cv, ok := cur[bench][metric]
 	if !ok {
 		return "", fmt.Errorf("current run has no %s.%s — did the benchmark run?", bench, metric)
 	}
 	if bv <= 0 {
-		return "", fmt.Errorf("baseline %s.%s is %v; cannot form a ratio", bench, metric, bv)
+		return "", fmt.Errorf("baseline %s.%s is %v; cannot form a ratio", baseBench, metric, bv)
 	}
 	ratio := cv / bv
+	label := bench
+	if baseBench != bench {
+		label = bench + "@" + baseBench
+	}
 	verdict := fmt.Sprintf("%s.%s: baseline %.0f, current %.0f, ratio %.2fx (limit %.2fx)",
-		bench, metric, bv, cv, ratio, maxRatio)
+		label, metric, bv, cv, ratio, maxRatio)
 	if ratio > maxRatio {
-		return verdict, fmt.Errorf("%s.%s regressed %.2fx (limit %.2fx)", bench, metric, ratio, maxRatio)
+		return verdict, fmt.Errorf("%s.%s regressed %.2fx (limit %.2fx)", label, metric, ratio, maxRatio)
 	}
 	return verdict, nil
 }

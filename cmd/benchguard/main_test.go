@@ -50,19 +50,23 @@ func TestParseCheck(t *testing.T) {
 		spec       string
 		wantBench  string
 		wantMetric string
+		wantBase   string
 		wantRatio  float64
 		wantErr    bool
 	}{
-		{spec: "MatrixSmall.ns_per_cell", wantBench: "MatrixSmall", wantMetric: "ns_per_cell", wantRatio: 2},
-		{spec: "MatrixSmall.bytes_per_op:3.5", wantBench: "MatrixSmall", wantMetric: "bytes_per_op", wantRatio: 3.5},
-		{spec: "DHTLookup.ns_per_lookup:2", wantBench: "DHTLookup", wantMetric: "ns_per_lookup", wantRatio: 2},
+		{spec: "MatrixSmall.ns_per_cell", wantBench: "MatrixSmall", wantMetric: "ns_per_cell", wantBase: "MatrixSmall", wantRatio: 2},
+		{spec: "MatrixSmall.bytes_per_op:3.5", wantBench: "MatrixSmall", wantMetric: "bytes_per_op", wantBase: "MatrixSmall", wantRatio: 3.5},
+		{spec: "DHTLookup.ns_per_lookup:2", wantBench: "DHTLookup", wantMetric: "ns_per_lookup", wantBase: "DHTLookup", wantRatio: 2},
+		{spec: "MatrixLarge.ns_per_cell@MatrixLarge_prePR:0.75", wantBench: "MatrixLarge", wantMetric: "ns_per_cell", wantBase: "MatrixLarge_prePR", wantRatio: 0.75},
+		{spec: "MatrixLarge.bytes_per_op@MatrixLarge_prePR", wantBench: "MatrixLarge", wantMetric: "bytes_per_op", wantBase: "MatrixLarge_prePR", wantRatio: 2},
 		{spec: "nodot", wantErr: true},
 		{spec: ".metric", wantErr: true},
 		{spec: "bench.", wantErr: true},
 		{spec: "bench.metric:abc", wantErr: true},
+		{spec: "bench.metric@:0.5", wantErr: true},
 	}
 	for _, tt := range tests {
-		b, m, r, err := parseCheck(tt.spec, 2)
+		b, m, baseBench, r, err := parseCheck(tt.spec, 2)
 		if tt.wantErr {
 			if err == nil {
 				t.Errorf("parseCheck(%q) should fail", tt.spec)
@@ -73,9 +77,30 @@ func TestParseCheck(t *testing.T) {
 			t.Errorf("parseCheck(%q): %v", tt.spec, err)
 			continue
 		}
-		if b != tt.wantBench || m != tt.wantMetric || r != tt.wantRatio {
-			t.Errorf("parseCheck(%q) = %q %q %v", tt.spec, b, m, r)
+		if b != tt.wantBench || m != tt.wantMetric || baseBench != tt.wantBase || r != tt.wantRatio {
+			t.Errorf("parseCheck(%q) = %q %q %q %v", tt.spec, b, m, baseBench, r)
 		}
+	}
+}
+
+// TestPinnedEntryGate pins the cross-entry check that makes the MatrixLarge
+// CI gates real: comparing a committed entry against a committed *_prePR pin
+// trips on regressed committed figures even when current == baseline (the
+// situation in CI, where -short never reruns the large benchmark).
+func TestPinnedEntryGate(t *testing.T) {
+	committed := map[string]map[string]float64{
+		"MatrixLarge":       {"ns_per_cell": 2.0e9},
+		"MatrixLarge_prePR": {"ns_per_cell": 14.0e9},
+	}
+	if _, err := compareEntries(committed, committed, "MatrixLarge_prePR", "MatrixLarge", "ns_per_cell", 0.75); err != nil {
+		t.Errorf("healthy pinned gate failed: %v", err)
+	}
+	regressed := map[string]map[string]float64{
+		"MatrixLarge":       {"ns_per_cell": 12.0e9}, // worse than 0.75x of the pin
+		"MatrixLarge_prePR": {"ns_per_cell": 14.0e9},
+	}
+	if _, err := compareEntries(regressed, regressed, "MatrixLarge_prePR", "MatrixLarge", "ns_per_cell", 0.75); err == nil {
+		t.Error("regressed committed figures must trip the pinned gate even when current == baseline")
 	}
 }
 

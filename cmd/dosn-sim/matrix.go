@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +37,8 @@ func runMatrix(args []string) error {
 		jsonOut    = fs.String("json", "", "write the run manifest as JSON to this file ('-' = stdout)")
 		csvOut     = fs.String("csv", "", "write per-(cell,policy,degree) rows as CSV to this file ('-' = stdout)")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress on stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof allocation profile (after the run) to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: dosn-sim matrix [flags]")
@@ -73,6 +77,52 @@ func runMatrix(args []string) error {
 		fmt.Fprintf(os.Stderr, "matrix: %d cells (%d datasets × %d models × %d modes × %d architectures), repeats=%d, seed=%d\n",
 			len(cells), len(spec.Datasets), len(spec.Models), len(spec.Modes), narch, spec.Repeats, spec.RootSeed)
 	}
+	// Profiles cover exactly the harness run (not flag parsing or output
+	// serialization), so perf work on the matrix path starts from data
+	// rather than a guess: dosn-sim matrix -scale large -cpuprofile cpu.out.
+	// The CPU profile is stopped — and the heap profile captured — right
+	// after harness.Run returns, before the manifest is serialized; the
+	// deferred stopCPU only covers early-error exits.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		stopped := false
+		stopCPU = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
+		}
+		defer stopCPU()
+	}
+	writeHeapProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle live heap so alloc_space is complete
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+	}
+
 	start := time.Now()
 	opts := harness.RunOptions{Workers: *workers}
 	if !*quiet {
@@ -81,6 +131,8 @@ func runMatrix(args []string) error {
 		}
 	}
 	manifest, err := harness.Run(spec, opts)
+	stopCPU()
+	writeHeapProfile()
 	if err != nil {
 		return err
 	}

@@ -67,6 +67,11 @@ type (
 	SynthConfig = trace.SynthConfig
 	// OnlineModel approximates per-user online times from activity.
 	OnlineModel = onlinetime.Model
+	// ScheduleTable is the arena-backed dense schedule store: one day-bitmap
+	// row per user in a single flat allocation. SweepConfig.Schedules takes
+	// one table per repetition, so callers sharing schedules across sweeps
+	// densify each (dataset, model, repetition) exactly once.
+	ScheduleTable = onlinetime.Table
 	// Policy places profile replicas on friends.
 	Policy = replica.Policy
 	// Mode selects connected (ConRep) or unconnected (UnconRep) placement.
@@ -167,6 +172,14 @@ func NewRandomLength() OnlineModel { return onlinetime.RandomLength{} }
 
 // DefaultModels returns the four models the paper's figures evaluate.
 func DefaultModels() []OnlineModel { return onlinetime.DefaultModels() }
+
+// BuildScheduleTable computes the model's schedules for every user of the
+// dataset as a ScheduleTable, deterministically for a given seed. workers
+// bounds the parallel construction phase and never affects the result (the
+// random draws are sequential; see the onlinetime package doc).
+func BuildScheduleTable(m OnlineModel, d *Dataset, seed int64, workers int) *ScheduleTable {
+	return onlinetime.ComputeTable(m, d, seed, workers)
+}
 
 // Policies.
 var (

@@ -114,12 +114,12 @@ func RunArchComparison(cfg ArchConfig) ([]ArchRow, error) {
 		}
 	}
 
-	// One schedule set per repetition, derived exactly as core.Run derives
+	// One schedule table per repetition, derived exactly as core.Run derives
 	// its fallback schedules, shared by every architecture: the comparison
 	// varies placement and nothing else.
-	schedules := make([][]interval.Set, cfg.Repeats)
-	for rep := range schedules {
-		schedules[rep] = cfg.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))))
+	tables := make([]*onlinetime.Table, cfg.Repeats)
+	for rep := range tables {
+		tables[rep] = cfg.Model.BuildTable(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))), cfg.Workers)
 	}
 
 	rows := make([]ArchRow, 0, len(cfg.Architectures))
@@ -139,13 +139,13 @@ func RunArchComparison(cfg ArchConfig) ([]ArchRow, error) {
 			Repeats:    cfg.Repeats,
 			Seed:       cfg.Seed,
 			Workers:    cfg.Workers,
-			Schedules:  schedules,
+			Schedules:  tables,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("architecture %s: %w", name, err)
 		}
 		row := ArchRow{Architecture: name, Sweep: sweep}
-		row.LoadMean, row.LoadMax, row.LoadCV, row.LoadGini = archHostLoad(cfg, policies[0], schedules[0])
+		row.LoadMean, row.LoadMax, row.LoadCV, row.LoadGini = archHostLoad(cfg, policies[0], tables[0])
 		if name != dht.ArchFriendReplica {
 			row.Lookup = archLookupStats(ring, ds, sweepUsers(cfg, ds))
 		}
@@ -169,11 +169,17 @@ func sweepUsers(cfg ArchConfig, ds *trace.Dataset) []socialgraph.UserID {
 }
 
 // archHostLoad places every profile in the dataset with the policy at the
-// full budget (first repetition's schedules) and summarizes per-host load.
-func archHostLoad(cfg ArchConfig, p replica.Policy, schedules []interval.Set) (mean, max, cv, gini float64) {
+// full budget (first repetition's schedule table) and summarizes per-host
+// load. The table's arena rows are consumed directly; the sorted-interval
+// form is materialized only for policies whose traits ask for it.
+func archHostLoad(cfg ArchConfig, p replica.Policy, table *onlinetime.Table) (mean, max, cv, gini float64) {
 	ds := cfg.Dataset
-	bitmaps := interval.BitmapsFromSets(schedules)
+	bitmaps := table.Bitmaps()
 	traits := replica.TraitsOf(p)
+	var schedules []interval.Set
+	if traits.UsesSchedules {
+		schedules = table.Sets()
+	}
 	assignments := make(map[socialgraph.UserID][]socialgraph.UserID, ds.NumUsers())
 	var countScratch trace.CountScratch
 	var actMinutes []int

@@ -91,13 +91,14 @@ type Config struct {
 	// Workers bounds the worker pool; default runtime.NumCPU(). The result
 	// does not depend on the worker count.
 	Workers int
-	// Schedules optionally supplies precomputed per-repetition online-time
-	// schedules (Schedules[rep][userID]). When set for a repetition, the
-	// engine uses it instead of calling Model.ScheduleAll, which lets
-	// callers share schedule computations across sweeps with the same
-	// (dataset, model, rep) — see internal/harness. Repetitions beyond
-	// len(Schedules) fall back to Model.ScheduleAll.
-	Schedules [][]interval.Set
+	// Schedules optionally supplies precomputed per-repetition schedule
+	// tables (Schedules[rep], user-indexed arena rows). When set for a
+	// repetition, the engine uses it instead of calling Model.BuildTable,
+	// which lets callers densify each (dataset, model, rep) schedule once
+	// and share it across every sweep with those coordinates — see
+	// internal/harness. Repetitions beyond len(Schedules) fall back to
+	// Model.BuildTable.
+	Schedules []*onlinetime.Table
 }
 
 // Errors returned by Run.
@@ -128,9 +129,9 @@ func (c *Config) fill() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
-	for rep, s := range c.Schedules {
-		if s != nil && len(s) < c.Dataset.NumUsers() {
-			return fmt.Errorf("core: Schedules[%d] covers %d users, dataset has %d", rep, len(s), c.Dataset.NumUsers())
+	for rep, t := range c.Schedules {
+		if t != nil && t.NumUsers() < c.Dataset.NumUsers() {
+			return fmt.Errorf("core: Schedules[%d] covers %d users, dataset has %d", rep, t.NumUsers(), c.Dataset.NumUsers())
 		}
 	}
 	if len(c.Users) == 0 {
@@ -225,13 +226,13 @@ func Run(cfg Config) (*Result, error) {
 	res.Cells = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 
 	for rep := 0; rep < cfg.Repeats; rep++ {
-		var schedules []interval.Set
+		var table *onlinetime.Table
 		if rep < len(cfg.Schedules) && cfg.Schedules[rep] != nil {
-			schedules = cfg.Schedules[rep]
+			table = cfg.Schedules[rep]
 		} else {
-			schedules = cfg.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))))
+			table = cfg.Model.BuildTable(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))), cfg.Workers)
 		}
-		grid := sweepOnce(cfg, schedules, rep)
+		grid := sweepOnce(cfg, table, rep)
 		mergeGrids(res.Cells, grid)
 	}
 	return res, nil
@@ -270,11 +271,22 @@ const sweepChunkSize = 16
 // degrees) — all chunk grids are held until the final merge, a few MB at
 // paper scale — in exchange for that scheduling independence.
 //
-// The schedules are densified once per repetition into a shared read-only
-// bitmap slice, and every worker owns one sweepScratch, so the per-user
-// metric accumulation allocates nothing beyond the policy selections.
-func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
-	bitmaps := interval.BitmapsFromSets(schedules)
+// The repetition's schedule table is shared read-only: its arena rows are
+// the bitmap slice every worker reads, with no densification step on this
+// path (the table was dense from construction). The sorted-interval form is
+// materialized only when some policy's traits declare it reads
+// Input.Schedules — no built-in policy does. Every worker owns one
+// sweepScratch, so the per-user metric accumulation allocates nothing
+// beyond the policy selections.
+func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
+	bitmaps := table.Bitmaps()
+	var sets []interval.Set
+	for _, p := range cfg.Policies {
+		if replica.TraitsOf(p).UsesSchedules {
+			sets = table.Sets()
+			break
+		}
+	}
 	nChunks := (len(cfg.Users) + sweepChunkSize - 1) / sweepChunkSize
 	chunkGrids := make([][][]Cell, nChunks)
 	var next atomic.Int64
@@ -294,7 +306,7 @@ func sweepOnce(cfg Config, schedules []interval.Set, rep int) [][]Cell {
 				hi := min(lo+sweepChunkSize, len(cfg.Users))
 				grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 				for _, u := range cfg.Users[lo:hi] {
-					sweepUser(cfg, schedules, bitmaps, rep, u, grid, &scratch)
+					sweepUser(cfg, sets, bitmaps, rep, u, grid, &scratch)
 				}
 				chunkGrids[ci] = grid
 			}
@@ -328,8 +340,10 @@ type sweepScratch struct {
 // path it replaced (same integer measures, same float divisions). Inputs a
 // policy declares it will ignore (replica.Traits) are not prepared: only
 // MostActive pays for the interaction counts, only randomized policies pay
-// for RNG seeding, and only MaxAv(activity) pays for the demand set.
-func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
+// for RNG seeding, only MaxAv(activity) pays for the demand set, and sets —
+// the vestigial sorted-interval schedules — is nil unless some policy's
+// traits declare it reads Input.Schedules.
+func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
 	ds := cfg.Dataset
 	friends := ds.Graph.Neighbors(u)
 
@@ -360,7 +374,7 @@ func sweepUser(cfg Config, schedules []interval.Set, bitmaps []interval.Bitmap, 
 	in := replica.Input{
 		Owner:      u,
 		Candidates: friends,
-		Schedules:  schedules,
+		Schedules:  sets,
 		Bitmaps:    bitmaps,
 		Mode:       cfg.Mode,
 		Budget:     cfg.MaxDegree,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"dosn/internal/interval"
@@ -229,12 +230,12 @@ func TestRunUsesPrecomputedSchedules(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	// Precomputing the schedules exactly as Run derives them must reproduce
-	// the plain result bit for bit.
+	// Precomputing the schedule tables exactly as Run derives them must
+	// reproduce the plain result bit for bit.
 	pre := base
 	for rep := 0; rep < base.Repeats; rep++ {
 		pre.Schedules = append(pre.Schedules,
-			base.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(base.Seed, int64(rep))))))
+			base.Model.BuildTable(ds, rand.New(rand.NewSource(mix(base.Seed, int64(rep)))), 1))
 	}
 	cached, err := Run(pre)
 	if err != nil {
@@ -247,7 +248,7 @@ func TestRunUsesPrecomputedSchedules(t *testing.T) {
 	alt := base
 	for rep := 0; rep < base.Repeats; rep++ {
 		alt.Schedules = append(alt.Schedules,
-			base.Model.ScheduleAll(ds, rand.New(rand.NewSource(mix(777, int64(rep))))))
+			base.Model.BuildTable(ds, rand.New(rand.NewSource(mix(777, int64(rep)))), 1))
 	}
 	shifted, err := Run(alt)
 	if err != nil {
@@ -305,9 +306,77 @@ func TestRunRejectsMisshapenSchedules(t *testing.T) {
 	cfg := Config{
 		Dataset: ds, Model: onlinetime.Sporadic{}, MaxDegree: 2, UserDegree: 10,
 		Repeats: 1, Seed: 1,
-		Schedules: [][]interval.Set{make([]interval.Set, ds.NumUsers()-1)},
+		Schedules: []*onlinetime.Table{onlinetime.TableFromSets(make([]interval.Set, ds.NumUsers()-1))},
 	}
 	if _, err := Run(cfg); err == nil {
 		t.Error("undersized schedule slice accepted; would panic in a worker")
+	}
+}
+
+// schedProbe is a stub policy recording whether the engine materialized the
+// sorted-interval schedules for it.
+type schedProbe struct {
+	usesSchedules bool
+	sawSets       *atomic.Bool
+	sawBitmaps    *atomic.Bool
+}
+
+func (p schedProbe) Name() string { return "schedProbe" }
+func (p schedProbe) Traits() replica.Traits {
+	return replica.Traits{UsesSchedules: p.usesSchedules}
+}
+func (p schedProbe) Select(in replica.Input, _ *rand.Rand) []socialgraph.UserID {
+	if in.Schedules != nil {
+		p.sawSets.Store(true)
+	}
+	if in.Bitmaps != nil {
+		p.sawBitmaps.Store(true)
+	}
+	return nil
+}
+
+// legacyProbe declares no traits at all: the engine must conservatively
+// assume it reads everything, including the interval-form schedules.
+type legacyProbe struct{ sawSets *atomic.Bool }
+
+func (p legacyProbe) Name() string { return "legacyProbe" }
+func (p legacyProbe) Select(in replica.Input, _ *rand.Rand) []socialgraph.UserID {
+	if in.Schedules != nil {
+		p.sawSets.Store(true)
+	}
+	return nil
+}
+
+// TestSweepMaterializesSetsOnlyForDeclaredPolicies pins the Set-free hot
+// path: with only bitmap-sufficient policies the sweep hands out nil
+// Input.Schedules (and always the dense arena rows); a policy whose traits —
+// declared or conservatively assumed — ask for interval form gets them.
+func TestSweepMaterializesSetsOnlyForDeclaredPolicies(t *testing.T) {
+	ds := testDataset(t)
+	run := func(p replica.Policy) {
+		t.Helper()
+		if _, err := Run(Config{Dataset: ds, MaxDegree: 2, UserDegree: 10, Seed: 1, Policies: []replica.Policy{p}}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	var sawSets, sawBitmaps atomic.Bool
+	run(schedProbe{usesSchedules: false, sawSets: &sawSets, sawBitmaps: &sawBitmaps})
+	if sawSets.Load() {
+		t.Error("policy without UsesSchedules got materialized interval sets on the hot path")
+	}
+	if !sawBitmaps.Load() {
+		t.Error("policy never saw the dense arena rows")
+	}
+
+	sawSets.Store(false)
+	run(schedProbe{usesSchedules: true, sawSets: &sawSets, sawBitmaps: &sawBitmaps})
+	if !sawSets.Load() {
+		t.Error("policy declaring UsesSchedules did not receive interval sets")
+	}
+
+	sawSets.Store(false)
+	run(legacyProbe{sawSets: &sawSets})
+	if !sawSets.Load() {
+		t.Error("trait-less policy must conservatively receive interval sets")
 	}
 }

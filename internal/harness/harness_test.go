@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -499,5 +500,52 @@ func TestNegativeSessionSecondsNormalizesToDefault(t *testing.T) {
 	spec.Models = []ModelSpec{Sporadic(), {Kind: "sporadic", SessionSeconds: -1}}
 	if err := spec.Validate(); err == nil {
 		t.Error("semantically duplicate models (default vs negative session) accepted")
+	}
+}
+
+// TestRunOptionsFillRebalancesCores pins the worker split: when the cell
+// count caps the cell-level pool below the core count, the freed cores flow
+// to the per-cell pools (ceil division, so no core is left idle by floored
+// arithmetic). These budgets also feed the phase-2 schedule builds.
+func TestRunOptionsFillRebalancesCores(t *testing.T) {
+	ncpu := runtime.NumCPU()
+
+	few := RunOptions{}.fill(2)
+	wantWorkers := ncpu
+	if wantWorkers > 2 {
+		wantWorkers = 2
+	}
+	if few.Workers != wantWorkers {
+		t.Errorf("Workers = %d, want %d (capped by 2 cells)", few.Workers, wantWorkers)
+	}
+	if want := (ncpu + few.Workers - 1) / few.Workers; few.CoreWorkers != want {
+		t.Errorf("CoreWorkers = %d, want %d (freed cores must go to the per-cell pools)", few.CoreWorkers, want)
+	}
+	if few.Workers*few.CoreWorkers < ncpu {
+		t.Errorf("worker split %d×%d leaves cores idle on a %d-core box", few.Workers, few.CoreWorkers, ncpu)
+	}
+
+	// Explicit values are never overridden.
+	explicit := RunOptions{Workers: 3, CoreWorkers: 5}.fill(100)
+	if explicit.Workers != 3 || explicit.CoreWorkers != 5 {
+		t.Errorf("explicit options rewritten: %+v", explicit)
+	}
+}
+
+// TestRandomModelSpecIdentityClampsLikeBounds pins that ModelSpec
+// normalization mirrors RandomLength.bounds() including the [1,24] clamp:
+// two degenerate specs that instantiate behaviorally identical models share
+// one identity (key, schedule cache, seed), and Validate rejects listing
+// both as duplicates.
+func TestRandomModelSpecIdentityClampsLikeBounds(t *testing.T) {
+	a := ModelSpec{Kind: "random", MinHours: 25, MaxHours: 30}
+	b := ModelSpec{Kind: "random", MinHours: 24, MaxHours: 24}
+	if a.key() != b.key() {
+		t.Errorf("clamp-equivalent specs have distinct keys: %q vs %q", a.key(), b.key())
+	}
+	spec := testSpec()
+	spec.Models = []ModelSpec{a, b}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Validate = %v, want duplicate-cell rejection", err)
 	}
 }

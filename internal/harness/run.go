@@ -9,7 +9,6 @@ import (
 
 	"dosn/internal/core"
 	"dosn/internal/dht"
-	"dosn/internal/interval"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/trace"
@@ -37,10 +36,14 @@ func (o RunOptions) fill(cells int) RunOptions {
 		o.Workers = cells
 	}
 	if o.CoreWorkers <= 0 {
-		o.CoreWorkers = runtime.NumCPU() / o.Workers
-		if o.CoreWorkers < 1 {
-			o.CoreWorkers = 1
-		}
+		// Ceil division so that when the cell count caps Workers below the
+		// core count, the freed cores flow to the per-cell pools instead of
+		// idling: 2 cells on a 7-core box get 4 core workers each (floor
+		// would leave a core dark), and the large scale — 2 cells on an
+		// N-core box — fans its per-user sweeps and its phase-2 schedule
+		// builds out to ~N/2 workers per cell. Mild oversubscription when
+		// the division is uneven is goroutine-cheap; idle cores are not.
+		o.CoreWorkers = (runtime.NumCPU() + o.Workers - 1) / o.Workers
 	}
 	return o
 }
@@ -63,7 +66,7 @@ func (l *lazy[T]) get(compute func() (T, error)) (T, error) {
 type caches struct {
 	mu        sync.Mutex
 	datasets  map[string]*lazy[*trace.Dataset]
-	schedules map[string]*lazy[[][]interval.Set]
+	schedules map[string]*lazy[[]*onlinetime.Table]
 	rings     map[string]*lazy[*dht.Ring]
 	schedHits atomic.Int64
 }
@@ -71,7 +74,7 @@ type caches struct {
 func newCaches() *caches {
 	return &caches{
 		datasets:  make(map[string]*lazy[*trace.Dataset]),
-		schedules: make(map[string]*lazy[[][]interval.Set]),
+		schedules: make(map[string]*lazy[[]*onlinetime.Table]),
 		rings:     make(map[string]*lazy[*dht.Ring]),
 	}
 }
@@ -105,12 +108,12 @@ func (c *caches) ringFor(d DatasetSpec, bits int, ds *trace.Dataset) (*dht.Ring,
 	})
 }
 
-func (c *caches) scheduleEntry(key string) (entry *lazy[[][]interval.Set], hit bool) {
+func (c *caches) scheduleEntry(key string) (entry *lazy[[]*onlinetime.Table], hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.schedules[key]
 	if !ok {
-		e = &lazy[[][]interval.Set]{}
+		e = &lazy[[]*onlinetime.Table]{}
 		c.schedules[key] = e
 	}
 	return e, ok
@@ -125,19 +128,24 @@ func buildDataset(d DatasetSpec) (*trace.Dataset, error) {
 	return trace.SynthesizeCalibrated(n.Name, n.Users, n.Seed, n.MinActivity)
 }
 
-// schedulesFor computes (or fetches) the per-repetition schedules shared by
-// every cell with the given (dataset, model) coordinates.
-func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model) ([][]interval.Set, error) {
+// schedulesFor computes (or fetches) the per-repetition schedule tables
+// shared by every cell with the given (dataset, model) coordinates. Each
+// table is densified exactly once per (dataset, model, rep) for the whole
+// run — cells sharing the coordinates reuse the arena read-only, with no
+// per-cell conversion. buildWorkers is the filling cell's core budget: the
+// parallel phase-2 row construction may use it freely because worker counts
+// never reach the table bytes.
+func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) ([]*onlinetime.Table, error) {
 	key := d.key() + "|" + m.key()
 	entry, existed := c.scheduleEntry(key)
 	if existed {
 		c.schedHits.Add(1)
 	}
-	return entry.get(func() ([][]interval.Set, error) {
-		out := make([][]interval.Set, spec.Repeats)
+	return entry.get(func() ([]*onlinetime.Table, error) {
+		out := make([]*onlinetime.Table, spec.Repeats)
 		for rep := range out {
 			rng := rand.New(rand.NewSource(spec.scheduleSeed(d, m, rep)))
-			out[rep] = model.ScheduleAll(ds, rng)
+			out[rep] = model.BuildTable(ds, rng, buildWorkers)
 		}
 		return out, nil
 	})
@@ -234,7 +242,7 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWork
 	if err != nil {
 		return CellResult{}, err
 	}
-	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model)
+	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model, coreWorkers)
 	if err != nil {
 		return CellResult{}, err
 	}

@@ -125,14 +125,20 @@ func (m ModelSpec) normalized() ModelSpec {
 	case "fixed":
 		m.SessionSeconds, m.MinHours, m.MaxHours = 0, 0, 0
 	case "random":
+		// Mirrors RandomLength.bounds(): defaults, [1, 24] clamp, then
+		// inversion collapse — so two specs that instantiate behaviorally
+		// identical models always share one identity (cache key, seed,
+		// duplicate detection).
 		if m.MinHours <= 0 {
 			m.MinHours = 2
 		}
 		if m.MaxHours <= 0 {
 			m.MaxHours = 8
 		}
+		m.MinHours = min(max(m.MinHours, 1), 24)
+		m.MaxHours = min(max(m.MaxHours, 1), 24)
 		if m.MaxHours < m.MinHours {
-			m.MaxHours = m.MinHours // mirrors RandomLength.bounds()
+			m.MaxHours = m.MinHours
 		}
 		m.Hours, m.SessionSeconds = 0, 0
 	}

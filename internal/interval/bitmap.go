@@ -65,8 +65,10 @@ func BitmapFromSet(s Set) Bitmap {
 func (s Set) Bitmap() Bitmap { return BitmapFromSet(s) }
 
 // BitmapsFromSets converts a schedule slice in one pass; index i of the
-// result is the dense form of sets[i]. Sweep engines call this once per
-// repetition and share the result read-only across workers.
+// result is the dense form of sets[i]. The matrix sweep no longer needs it —
+// schedules are born dense in an onlinetime.Table and shared as arena views —
+// so it remains as the densification entry for callers that start from
+// sorted-interval schedules (tests, hand-built scenarios).
 func BitmapsFromSets(sets []Set) []Bitmap {
 	out := make([]Bitmap, len(sets))
 	for i, s := range sets {

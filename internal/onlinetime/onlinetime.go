@@ -11,8 +11,26 @@
 //   - RandomLength: like FixedLength, but each user draws his own window
 //     length uniformly from [2, 8] hours.
 //
-// Schedules are day-cyclic interval sets; a user's schedule repeats every
-// day, matching the paper's 24-hour availability accounting.
+// Schedules are day-cyclic; a user's schedule repeats every day, matching
+// the paper's 24-hour availability accounting.
+//
+// # Two-phase builds
+//
+// The canonical product of a model is a Table: one dense day-bitmap row per
+// user in a single flat arena (table.go). BuildTable constructs it in two
+// phases:
+//
+//  1. every random value the model needs is drawn sequentially off the
+//     caller's *rand.Rand, in exactly the per-user, per-activity order the
+//     historical Set-emitting build consumed it — so a seed keeps producing
+//     byte-identical schedules no matter how phase 2 is scheduled;
+//  2. the per-user bitmaps are built from those values over a worker pool
+//     writing disjoint arena rows (deterministic for any worker count).
+//
+// ScheduleAll, the sorted-interval form, is the lossless conversion of the
+// same table; APIs that still speak []interval.Set (osn, plotting, the
+// protocol experiments) get results identical to the pre-arena sequential
+// build.
 package onlinetime
 
 import (
@@ -27,11 +45,20 @@ import (
 )
 
 // Model computes per-user online-time schedules from an activity trace.
-// Implementations must be deterministic given the same rng state.
+// Implementations must be deterministic given the same rng state: BuildTable
+// draws all randomness in phase 1, sequentially, in a fixed per-user order.
 type Model interface {
 	// Name identifies the model in experiment output ("Sporadic", ...).
 	Name() string
-	// ScheduleAll returns one online-time set per user ID.
+	// BuildTable returns the arena-backed dense schedule of every user.
+	// Random values are consumed from rng in a fixed sequential order
+	// (phase 1); workers bounds the parallel bitmap-construction pool
+	// (phase 2), which never affects the result. workers <= 1 builds
+	// inline.
+	BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table
+	// ScheduleAll returns one online-time set per user ID — the
+	// sorted-interval conversion of BuildTable's arena, consuming rng
+	// identically.
 	ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set
 }
 
@@ -73,74 +100,101 @@ func (s Sporadic) sessionMinutes() int {
 	return m
 }
 
-// ScheduleAll implements Model. A user with no created activities gets an
+// BuildTable implements Model. A user with no created activities gets an
 // empty schedule (never online), mirroring the paper's observation that
 // online times must be inferred from activity.
 //
-// A user with one session window per activity is exactly the fragmented
-// shape interval.PreferBitmap exists for: past the cutover the windows are
-// accumulated densely and converted once, instead of sorting and merging a
-// per-activity interval list. Both paths yield the same normalized set, so
-// schedules — and everything derived from them — are unchanged.
-func (s Sporadic) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+// Phase 1 draws one session offset per created activity — the random point
+// inside the session at which the activity happens — into a flat per-activity
+// column aligned with the dataset's created-activity CSR index. Phase 2 ORs
+// each user's session windows into his arena row.
+func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
 	sess := s.sessionMinutes()
-	out := make([]interval.Set, d.NumUsers())
-	for u := 0; u < d.NumUsers(); u++ {
-		acts := d.CreatedIdx(socialgraph.UserID(u))
-		if len(acts) == 0 {
-			continue
-		}
-		if interval.PreferBitmap(len(acts)) {
-			var b interval.Bitmap
-			for _, k := range acts {
-				start := d.MinuteOfDayAt(int(k)) - rng.Intn(sess)
-				b.AddInterval(interval.Interval{Start: start, End: start + sess})
-			}
-			out[u] = b.Set()
-			continue
-		}
-		windows := make([]interval.Interval, 0, len(acts))
-		for _, k := range acts {
-			// The activity happens at a uniformly random point inside the
-			// session, so the session starts up to sess-1 minutes earlier.
-			start := d.MinuteOfDayAt(int(k)) - rng.Intn(sess)
-			windows = append(windows, interval.Interval{Start: start, End: start + sess})
-		}
-		out[u] = interval.NewSet(windows...)
+	n := d.NumUsers()
+	t := NewTable(n)
+
+	// Per-user offsets into the flat draw column (CSR-style prefix sums).
+	uoff := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		uoff[u+1] = uoff[u] + int32(len(d.CreatedIdx(socialgraph.UserID(u))))
 	}
-	return out
+	// Session offsets fit in int16: sessionMinutes() <= DayMinutes = 1440.
+	offs := make([]int16, uoff[n])
+	for i := range offs {
+		offs[i] = int16(rng.Intn(sess))
+	}
+
+	forEachRowRange(n, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			acts := d.CreatedIdx(socialgraph.UserID(u))
+			base := uoff[u]
+			row := &t.rows[u]
+			for j, k := range acts {
+				// The activity happens at a uniformly random point inside
+				// the session, so the session starts up to sess-1 minutes
+				// earlier.
+				start := d.MinuteOfDayAt(int(k)) - int(offs[base+int32(j)])
+				row.AddInterval(interval.Interval{Start: start, End: start + sess})
+			}
+		}
+	})
+	return t
+}
+
+// ScheduleAll implements Model.
+func (s Sporadic) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+	return s.BuildTable(d, rng, 1).Sets()
 }
 
 // FixedLength models one continuous daily online window of fixed length,
 // centered on the circular mean of the user's activity minutes.
 type FixedLength struct {
 	// Hours is the window length; the paper evaluates 2, 4, 6 and 8.
+	// Values are clamped to [1, 24]: a non-positive length would silently
+	// mean "never online" (contradicting the model) and anything above a
+	// day is the full day anyway. The clamped behavior is pinned by
+	// TestDegenerateHourKnobs.
 	Hours int
 }
 
 // Name implements Model.
 func (f FixedLength) Name() string { return fmt.Sprintf("FixedLength(%dh)", f.Hours) }
 
-// ScheduleAll implements Model. Users with no activities get a window at a
-// uniformly random time of day (their behaviour is unknown).
-func (f FixedLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
-	length := f.Hours * 60
-	out := make([]interval.Set, d.NumUsers())
-	for u := 0; u < d.NumUsers(); u++ {
-		center, ok := activityCenter(d, socialgraph.UserID(u))
-		if !ok {
-			center = rng.Intn(interval.DayMinutes)
+// windowMinutes returns the effective window length with Hours clamped to
+// [1, 24] — degenerate knobs (zero, negative, more than a day) become
+// explicit bounds instead of leaking nonsense windows through the interval
+// layer.
+func (f FixedLength) windowMinutes() int { return min(max(f.Hours, 1), 24) * 60 }
+
+// BuildTable implements Model. Users with no activities get a window at a
+// uniformly random time of day (their behaviour is unknown); phase 1 draws
+// exactly those centers, phase 2 computes the activity-derived centers (the
+// trigonometric circular mean, the expensive part) in parallel.
+func (f FixedLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
+	length := f.windowMinutes()
+	n := d.NumUsers()
+	t := NewTable(n)
+	centers := drawCenters(d, rng, make([]int32, 0, n))
+	forEachRowRange(n, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			t.rows[u].AddInterval(windowCentered(resolveCenter(d, centers, u), length))
 		}
-		out[u] = interval.WindowCentered(center, length)
-	}
-	return out
+	})
+	return t
+}
+
+// ScheduleAll implements Model.
+func (f FixedLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
+	return f.BuildTable(d, rng, 1).Sets()
 }
 
 // RandomLength is FixedLength with a per-user window length drawn uniformly
 // from [MinHours, MaxHours] (the paper uses [2, 8]).
 type RandomLength struct {
 	// MinHours and MaxHours bound the per-user window length. Zero values
-	// mean the paper's defaults of 2 and 8.
+	// mean the paper's defaults of 2 and 8; the resolved bounds are clamped
+	// into [1, 24] with MaxHours raised to MinHours when inverted (pinned
+	// by TestDegenerateHourKnobs).
 	MinHours int
 	MaxHours int
 }
@@ -156,25 +210,75 @@ func (r RandomLength) bounds() (lo, hi int) {
 	if hi <= 0 {
 		hi = 8
 	}
+	lo = min(max(lo, 1), 24)
+	hi = min(max(hi, 1), 24)
 	if hi < lo {
 		hi = lo
 	}
 	return lo, hi
 }
 
+// BuildTable implements Model. Phase 1 draws, per user, the window length
+// and — for users with no activities — the random center, in that order
+// (the historical draw order).
+func (r RandomLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
+	lo, hi := r.bounds()
+	n := d.NumUsers()
+	t := NewTable(n)
+	lengths := make([]int32, n)
+	centers := make([]int32, n)
+	for u := 0; u < n; u++ {
+		lengths[u] = int32(lo*60 + rng.Intn((hi-lo)*60+1))
+		centers[u] = drawCenter(d, rng, socialgraph.UserID(u))
+	}
+	forEachRowRange(n, workers, func(ulo, uhi int) {
+		for u := ulo; u < uhi; u++ {
+			t.rows[u].AddInterval(windowCentered(resolveCenter(d, centers, u), int(lengths[u])))
+		}
+	})
+	return t
+}
+
 // ScheduleAll implements Model.
 func (r RandomLength) ScheduleAll(d *trace.Dataset, rng *rand.Rand) []interval.Set {
-	lo, hi := r.bounds()
-	out := make([]interval.Set, d.NumUsers())
-	for u := 0; u < d.NumUsers(); u++ {
-		length := lo*60 + rng.Intn((hi-lo)*60+1)
-		center, ok := activityCenter(d, socialgraph.UserID(u))
-		if !ok {
-			center = rng.Intn(interval.DayMinutes)
-		}
-		out[u] = interval.WindowCentered(center, length)
+	return r.BuildTable(d, rng, 1).Sets()
+}
+
+// drawCenter performs user u's phase-1 center draw: a uniformly random
+// minute for users with no created activities (whose behaviour is unknown),
+// or -1 meaning "derive the center from the activity history in phase 2".
+func drawCenter(d *trace.Dataset, rng *rand.Rand, u socialgraph.UserID) int32 {
+	if len(d.CreatedIdx(u)) == 0 {
+		return int32(rng.Intn(interval.DayMinutes))
 	}
-	return out
+	return -1
+}
+
+// drawCenters runs drawCenter over every user in ID order, appending to dst.
+func drawCenters(d *trace.Dataset, rng *rand.Rand, dst []int32) []int32 {
+	n := d.NumUsers()
+	for u := 0; u < n; u++ {
+		dst = append(dst, drawCenter(d, rng, socialgraph.UserID(u)))
+	}
+	return dst
+}
+
+// resolveCenter returns the window center for user u: the phase-1 draw when
+// one was made, the circular activity mean otherwise.
+func resolveCenter(d *trace.Dataset, centers []int32, u int) int {
+	if c := centers[u]; c >= 0 {
+		return int(c)
+	}
+	center, _ := activityCenter(d, socialgraph.UserID(u))
+	return center
+}
+
+// windowCentered is the interval of the window of the given length centered
+// on the minute center, in the (possibly wrapping) form Bitmap.AddInterval
+// canonicalizes exactly like interval.WindowCentered.
+func windowCentered(center, length int) interval.Interval {
+	start := center - length/2
+	return interval.Interval{Start: start, End: start + length}
 }
 
 // activityCenter returns the circular mean minute-of-day of the user's
@@ -207,6 +311,13 @@ func activityCenter(d *trace.Dataset, u socialgraph.UserID) (center int, ok bool
 // returns one schedule per user.
 func Compute(m Model, d *trace.Dataset, seed int64) []interval.Set {
 	return m.ScheduleAll(d, rand.New(rand.NewSource(seed)))
+}
+
+// ComputeTable is Compute in the dense arena form: it builds the model's
+// schedule table with a deterministic seed and the given phase-2 worker
+// budget (which never affects the result).
+func ComputeTable(m Model, d *trace.Dataset, seed int64, workers int) *Table {
+	return m.BuildTable(d, rand.New(rand.NewSource(seed)), workers)
 }
 
 // DefaultModels returns the model set evaluated throughout the paper's

@@ -1,0 +1,134 @@
+package onlinetime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dosn/internal/interval"
+	"dosn/internal/socialgraph"
+)
+
+// Table is the arena-backed dense schedule store: one day-bitmap row per
+// user, all rows living in a single contiguous allocation
+// (interval.BitmapWords words — 184 bytes — per user, ~18 MB flat at 100k
+// users). It is the canonical schedule representation on the sweep hot path:
+// engines keep one table per (dataset, model, repetition) and hand policies
+// O(1) row views instead of materializing a per-user []interval.Set and
+// re-densifying it once per cell×repetition.
+//
+// Rows are mutable through Bitmap; the sweep engines treat a built table as
+// read-only and share it across workers. Sets converts losslessly back to
+// the sorted-interval form for the APIs that still speak it (osn, plotting,
+// tests): for every row, Bitmap(u).Set() equals the Set the legacy
+// Model.ScheduleAll emitted, bit for bit.
+type Table struct {
+	rows []interval.Bitmap
+
+	// setsOnce/sets memoize the lossless Sets() conversion, so a table
+	// shared across cells hands every consumer (including trait-less
+	// third-party policies that conservatively ask for interval form) one
+	// conversion instead of one per cell×repetition.
+	setsOnce sync.Once
+	sets     []interval.Set
+}
+
+// NewTable returns an empty-schedule table for the given number of users,
+// allocating the whole arena in one piece.
+func NewTable(users int) *Table {
+	if users < 0 {
+		users = 0
+	}
+	return &Table{rows: make([]interval.Bitmap, users)}
+}
+
+// TableFromSets densifies a schedule slice into a fresh table; row i is the
+// dense form of sets[i]. It is the injection point for callers that hold
+// sorted-interval schedules (tests, hand-built scenarios).
+func TableFromSets(sets []interval.Set) *Table {
+	t := NewTable(len(sets))
+	for i, s := range sets {
+		t.rows[i].SetFrom(s)
+	}
+	return t
+}
+
+// NumUsers returns the number of rows.
+func (t *Table) NumUsers() int { return len(t.rows) }
+
+// Bitmap returns the dense schedule row of user u as an O(1) view into the
+// arena, or nil when u is out of range. The view aliases the table; callers
+// on shared tables must treat it as read-only.
+func (t *Table) Bitmap(u socialgraph.UserID) *interval.Bitmap {
+	if u < 0 || int(u) >= len(t.rows) {
+		return nil
+	}
+	return &t.rows[u]
+}
+
+// Bitmaps returns the whole arena as a user-indexed bitmap slice — the form
+// replica.Input.Bitmaps and the metric kernels consume. No copying: the
+// slice is the table's backing storage.
+func (t *Table) Bitmaps() []interval.Bitmap { return t.rows }
+
+// Sets converts every row back to the canonical sorted-interval form. The
+// conversion is lossless and normalized (interval.Bitmap.Set), so the result
+// is exactly what the sequential Set-emitting schedule build produced. It is
+// computed once per table and the same slice is returned to every caller
+// (concurrency-safe); treat it — like the arena rows — as read-only, and do
+// not call Sets concurrently with row mutation (built tables are immutable
+// by convention).
+func (t *Table) Sets() []interval.Set {
+	t.setsOnce.Do(func() {
+		t.sets = make([]interval.Set, len(t.rows))
+		for i := range t.rows {
+			t.sets[i] = t.rows[i].Set()
+		}
+	})
+	return t.sets
+}
+
+// MemoryBytes returns the size of the arena in bytes.
+func (t *Table) MemoryBytes() int {
+	return len(t.rows) * interval.BitmapWords * 8
+}
+
+// buildChunk is the user-range granularity of the parallel phase-2 build.
+// Chunk boundaries depend only on the user count, and every chunk writes a
+// disjoint arena row range, so the table bytes are identical for any worker
+// count.
+const buildChunk = 512
+
+// forEachRowRange runs fn over [0, users) split into fixed chunks on a
+// bounded worker pool. fn must only touch state owned by its range. With
+// workers <= 1 (or a single chunk) it runs inline, allocating nothing.
+func forEachRowRange(users, workers int, fn func(lo, hi int)) {
+	nChunks := (users + buildChunk - 1) / buildChunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		if users > 0 {
+			fn(0, users)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1))
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * buildChunk
+				hi := min(lo+buildChunk, users)
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

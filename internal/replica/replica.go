@@ -48,12 +48,17 @@ type Input struct {
 	// the trusted nodes eligible to host a replica.
 	Candidates []socialgraph.UserID
 	// Schedules holds the online-time set of every user, indexed by UserID.
+	// Sweep engines that populate Bitmaps may leave it nil for policies
+	// whose Traits report UsesSchedules false (all built-in policies): the
+	// dense rows carry the same information and every overlap computation
+	// answers identically on either representation.
 	Schedules []interval.Set
-	// Bitmaps optionally holds the dense form of Schedules (same indexing,
-	// e.g. from interval.BitmapsFromSets). When set, policies run their
-	// overlap arithmetic on O(words) bitmap operations instead of interval
-	// merges; results are bit-identical either way. Sweep engines populate it
-	// once per repetition and share it read-only across workers.
+	// Bitmaps optionally holds the dense form of the schedules (same
+	// indexing, e.g. the arena rows of an onlinetime.Table). When set,
+	// policies run their overlap arithmetic on O(words) bitmap operations
+	// instead of interval merges; results are bit-identical either way.
+	// Sweep engines populate it once per (dataset, model, repetition) and
+	// share it read-only across workers.
 	Bitmaps []interval.Bitmap
 	// InteractionCounts gives, per candidate, the number of activities the
 	// candidate created on the owner's profile. Only MostActive reads it.
@@ -161,6 +166,15 @@ type Traits struct {
 	UsesInteractions bool
 	// UsesDemand reports whether Input.Demand is read.
 	UsesDemand bool
+	// UsesSchedules reports whether Select reads Input.Schedules even when
+	// Input.Bitmaps is populated — i.e. the policy needs the sorted-interval
+	// form itself, not just the minute-set information. Engines that supply
+	// Bitmaps skip materializing the per-user []interval.Set for policies
+	// that leave this false; engines that do not supply Bitmaps must always
+	// provide Schedules regardless of this trait. Every built-in policy
+	// (and the DHT placements) answers all overlap questions on the dense
+	// rows, so none declares it.
+	UsesSchedules bool
 }
 
 // TraitedPolicy is optionally implemented by policies that can declare their
@@ -176,7 +190,7 @@ func TraitsOf(p Policy) Traits {
 	if tp, ok := p.(TraitedPolicy); ok {
 		return tp.Traits()
 	}
-	return Traits{UsesRNG: true, UsesInteractions: true, UsesDemand: true}
+	return Traits{UsesRNG: true, UsesInteractions: true, UsesDemand: true, UsesSchedules: true}
 }
 
 // Compile-time interface checks.

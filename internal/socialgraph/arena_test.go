@@ -1,0 +1,139 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// legacyBuild is the pre-arena Builder.Build: one growing adjacency slice
+// per node, appended edge by edge. The arena construction must produce
+// node-for-node identical lists.
+func legacyBuild(kind Kind, n int, src, dst []UserID) *Graph {
+	g := &Graph{kind: kind, out: make([][]UserID, n)}
+	for i := range src {
+		g.out[src[i]] = append(g.out[src[i]], dst[i])
+		if kind == Undirected {
+			g.out[dst[i]] = append(g.out[dst[i]], src[i])
+		}
+	}
+	if kind == Directed {
+		g.in = make([][]UserID, n)
+		for i := range src {
+			g.in[dst[i]] = append(g.in[dst[i]], src[i])
+		}
+	}
+	for u := range g.out {
+		g.out[u] = legacyDedup(g.out[u])
+	}
+	for u := range g.in {
+		g.in[u] = legacyDedup(g.in[u])
+	}
+	return g
+}
+
+func legacyDedup(s []UserID) []UserID {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// edgeBatch is a quick.Generator for random edge lists with duplicates,
+// self-loops and out-of-range endpoints (which AddEdge must drop), plus
+// isolated nodes (which must keep nil adjacency rows).
+type edgeBatch struct {
+	kind Kind
+	n    int
+	u, v []UserID
+}
+
+func (edgeBatch) Generate(r *rand.Rand, size int) reflect.Value {
+	kind := Undirected
+	if r.Intn(2) == 0 {
+		kind = Directed
+	}
+	n := r.Intn(30)
+	e := edgeBatch{kind: kind, n: n}
+	for i := 0; i < r.Intn(120); i++ {
+		// Bias into range but include out-of-range and negative endpoints.
+		e.u = append(e.u, UserID(r.Intn(n+6)-3))
+		e.v = append(e.v, UserID(r.Intn(n+6)-3))
+	}
+	return reflect.ValueOf(e)
+}
+
+// TestQuickArenaBuildMatchesLegacyBuild: the flat-arena adjacency
+// construction is observationally identical to the per-node append build —
+// same neighbor and followee lists (including nil rows for isolated users),
+// same degrees, same edge counts.
+func TestQuickArenaBuildMatchesLegacyBuild(t *testing.T) {
+	prop := func(e edgeBatch) bool {
+		b := NewBuilder(e.kind, e.n)
+		for i := range e.u {
+			b.AddEdge(e.u[i], e.v[i])
+		}
+		got := b.Build()
+		want := legacyBuild(e.kind, e.n, b.src, b.dst)
+		if got.NumUsers() != want.NumUsers() || got.NumEdges() != want.NumEdges() {
+			return false
+		}
+		for u := 0; u < e.n; u++ {
+			id := UserID(u)
+			if !reflect.DeepEqual(got.Neighbors(id), want.Neighbors(id)) {
+				t.Logf("user %d neighbors: arena %v, legacy %v", u, got.Neighbors(id), want.Neighbors(id))
+				return false
+			}
+			if !reflect.DeepEqual(got.Followees(id), want.Followees(id)) {
+				t.Logf("user %d followees: arena %v, legacy %v", u, got.Followees(id), want.Followees(id))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenaBuildIsolatedRowsStayNil pins the nil-vs-empty convention the
+// append-based build had: users with no edges report nil, not zero-length
+// views into the arena.
+func TestArenaBuildIsolatedRowsStayNil(t *testing.T) {
+	b := NewBuilder(Undirected, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.Neighbors(2) != nil {
+		t.Errorf("isolated user's neighbors = %v, want nil", g.Neighbors(2))
+	}
+	if got := g.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Neighbors(0) = %v, want [1]", got)
+	}
+}
+
+// TestBuilderGrowKeepsSemantics: Grow is purely a capacity reservation.
+func TestBuilderGrowKeepsSemantics(t *testing.T) {
+	a := NewBuilder(Directed, 4)
+	bGrown := NewBuilder(Directed, 4)
+	bGrown.Grow(16)
+	for _, e := range [][2]UserID{{0, 1}, {1, 2}, {0, 1}, {3, 3}, {2, 0}} {
+		a.AddEdge(e[0], e[1])
+		bGrown.AddEdge(e[0], e[1])
+	}
+	ga, gb := a.Build(), bGrown.Build()
+	for u := UserID(0); u < 4; u++ {
+		if !reflect.DeepEqual(ga.Neighbors(u), gb.Neighbors(u)) || !reflect.DeepEqual(ga.Followees(u), gb.Followees(u)) {
+			t.Fatalf("user %d differs between grown and ungrown builders", u)
+		}
+	}
+}

@@ -135,7 +135,12 @@ func GenerateErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
 func GenerateConfigurationModel(degrees []int, rng *rand.Rand) *Graph {
 	n := len(degrees)
 	b := NewBuilder(Undirected, n)
-	var stubs []UserID
+	total := 0
+	for _, d := range degrees {
+		total += d
+	}
+	b.Grow(total / 2)
+	stubs := make([]UserID, 0, total)
 	for u, d := range degrees {
 		for i := 0; i < d; i++ {
 			stubs = append(stubs, UserID(u))

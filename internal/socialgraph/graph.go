@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +63,14 @@ func NewBuilder(kind Kind, n int) *Builder {
 	return &Builder{kind: kind, n: n}
 }
 
+// Grow reserves capacity for n additional edges, so bulk constructions
+// (generators, subgraph induction) that know their edge count up front pay
+// two exact allocations instead of append doubling.
+func (b *Builder) Grow(n int) {
+	b.src = slices.Grow(b.src, n)
+	b.dst = slices.Grow(b.dst, n)
+}
+
 // AddEdge records an edge. For Undirected graphs the edge is symmetric; for
 // Directed graphs it means "v follows u" (v receives u's posts). Self-loops
 // and out-of-range endpoints are ignored.
@@ -73,20 +82,17 @@ func (b *Builder) AddEdge(u, v UserID) {
 	b.dst = append(b.dst, v)
 }
 
-// Build normalizes (sorts, deduplicates) and returns the graph.
+// Build normalizes (sorts, deduplicates) and returns the graph. The
+// adjacency lists are views into one flat arena per direction (a counting
+// pass sizes every node's range exactly), so building a graph costs two
+// large allocations per direction instead of one growing slice per node.
+// List contents are identical to the per-node-append construction this
+// replaced: dedupSorted canonicalizes each range in place.
 func (b *Builder) Build() *Graph {
-	g := &Graph{kind: b.kind, out: make([][]UserID, b.n)}
-	for i := range b.src {
-		g.out[b.src[i]] = append(g.out[b.src[i]], b.dst[i])
-		if b.kind == Undirected {
-			g.out[b.dst[i]] = append(g.out[b.dst[i]], b.src[i])
-		}
-	}
+	g := &Graph{kind: b.kind}
+	g.out = adjacencyViews(b.n, b.src, b.dst, b.kind == Undirected, false)
 	if b.kind == Directed {
-		g.in = make([][]UserID, b.n)
-		for i := range b.src {
-			g.in[b.dst[i]] = append(g.in[b.dst[i]], b.src[i])
-		}
+		g.in = adjacencyViews(b.n, b.src, b.dst, false, true)
 	}
 	for u := range g.out {
 		g.out[u] = dedupSorted(g.out[u])
@@ -97,11 +103,58 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// adjacencyViews bins the edge list into per-node slices backed by a single
+// arena. Forward mode appends dst to src's row (and, for undirected graphs,
+// src to dst's row); reversed mode appends src to dst's row (the followee
+// lists of a directed graph). Nodes with no entries keep a nil row, exactly
+// as the append-based construction left them.
+func adjacencyViews(n int, src, dst []UserID, undirected, reversed bool) [][]UserID {
+	deg := make([]int32, n+1)
+	for i := range src {
+		if reversed {
+			deg[dst[i]+1]++
+		} else {
+			deg[src[i]+1]++
+			if undirected {
+				deg[dst[i]+1]++
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		deg[u+1] += deg[u]
+	}
+	arena := make([]UserID, deg[n])
+	cur := make([]int32, n)
+	for u := 0; u < n; u++ {
+		cur[u] = deg[u]
+	}
+	for i := range src {
+		if reversed {
+			arena[cur[dst[i]]] = src[i]
+			cur[dst[i]]++
+		} else {
+			arena[cur[src[i]]] = dst[i]
+			cur[src[i]]++
+			if undirected {
+				arena[cur[dst[i]]] = src[i]
+				cur[dst[i]]++
+			}
+		}
+	}
+	rows := make([][]UserID, n)
+	for u := 0; u < n; u++ {
+		if lo, hi := deg[u], deg[u+1]; lo < hi {
+			rows[u] = arena[lo:hi:hi]
+		}
+	}
+	return rows
+}
+
 func dedupSorted(s []UserID) []UserID {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	w := 1
 	for i := 1; i < len(s); i++ {
 		if s[i] != s[w-1] {
@@ -278,20 +331,38 @@ func (g *Graph) ConnectedComponents() (comp []int, n int) {
 // from new dense IDs to original IDs. Edges with an endpoint outside the set
 // are dropped.
 func (g *Graph) InducedSubgraph(users []UserID) (*Graph, []UserID) {
-	keep := make(map[UserID]UserID, len(users))
+	// Dense remap column (-1 = dropped) instead of a map: duplicates and
+	// out-of-range entries skip exactly as the map-keyed version skipped
+	// them.
+	keep := make([]UserID, g.NumUsers())
+	for i := range keep {
+		keep[i] = -1
+	}
 	orig := make([]UserID, 0, len(users))
 	for _, u := range users {
-		if _, dup := keep[u]; dup || u < 0 || int(u) >= g.NumUsers() {
+		if u < 0 || int(u) >= g.NumUsers() || keep[u] >= 0 {
 			continue
 		}
 		keep[u] = UserID(len(orig))
 		orig = append(orig, u)
 	}
 	b := NewBuilder(g.Kind(), len(orig))
+	// Count the surviving edges first so the builder's edge arrays are
+	// allocated once at exact size.
+	edges := 0
 	for _, u := range orig {
 		nu := keep[u]
 		for _, v := range g.out[u] {
-			if nv, ok := keep[v]; ok {
+			if nv := keep[v]; nv >= 0 && (g.Kind() == Directed || nu < nv) {
+				edges++
+			}
+		}
+	}
+	b.Grow(edges)
+	for _, u := range orig {
+		nu := keep[u]
+		for _, v := range g.out[u] {
+			if nv := keep[v]; nv >= 0 {
 				if g.Kind() == Directed || nu < nv { // add undirected edges once
 					b.AddEdge(nu, nv)
 				}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dosn/internal/socialgraph"
+)
+
+// refSortColumns is the pre-counting-sort reference: the reflect-based
+// stable comparison sort over genRows, emitted row by row. emitSortedColumns
+// must reproduce its column bytes exactly — including the order of rows with
+// equal timestamps, which the CSR indexes (and therefore every schedule and
+// golden result) inherit.
+func refSortColumns(rows []genRow) (creator, receiver []socialgraph.UserID, atUnix []int64) {
+	sorted := make([]genRow, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].atUnix < sorted[j].atUnix })
+	for _, r := range sorted {
+		creator = append(creator, r.creator)
+		receiver = append(receiver, r.receiver)
+		atUnix = append(atUnix, r.atUnix)
+	}
+	return creator, receiver, atUnix
+}
+
+// genRows is a quick.Generator producing row batches with heavy timestamp
+// ties (small second range), the case where stability is observable.
+type genRows struct {
+	rows []genRow
+	span int64
+}
+
+func (genRows) Generate(r *rand.Rand, size int) reflect.Value {
+	span := int64(1 + r.Intn(500))
+	n := r.Intn(400)
+	rows := make([]genRow, n)
+	for i := range rows {
+		rows[i] = genRow{
+			// Distinct creators so any reordering of ties is visible.
+			creator:  socialgraph.UserID(i),
+			receiver: socialgraph.UserID(r.Intn(50)),
+			atUnix:   Epoch.Unix() + r.Int63n(span),
+		}
+	}
+	return reflect.ValueOf(genRows{rows: rows, span: span})
+}
+
+// TestQuickEmitSortedColumnsMatchesStableSort: both orderings — the
+// counting sort and the generic stable sort — reproduce the reflect-based
+// stable reference exactly, ties included, so emitSortedColumns's cost
+// heuristic can never change dataset bytes.
+func TestQuickEmitSortedColumnsMatchesStableSort(t *testing.T) {
+	prop := func(g genRows) bool {
+		wc, wr, wa := refSortColumns(g.rows)
+		n := len(g.rows)
+		for _, counting := range []bool{true, false} {
+			creator := make([]socialgraph.UserID, n)
+			receiver := make([]socialgraph.UserID, n)
+			atUnix := make([]int64, n)
+			rows := append([]genRow{}, g.rows...)
+			if counting {
+				countingSortColumns(rows, Epoch.Unix(), g.span, creator, receiver, atUnix)
+			} else {
+				stableSortColumns(rows, creator, receiver, atUnix)
+			}
+			if !reflect.DeepEqual(creator, append([]socialgraph.UserID{}, wc...)) ||
+				!reflect.DeepEqual(receiver, append([]socialgraph.UserID{}, wr...)) ||
+				!reflect.DeepEqual(atUnix, append([]int64{}, wa...)) {
+				t.Logf("counting=%v ordered differently from the stable reference", counting)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUseCountingSortHeuristic pins the cost rule: counting only for
+// horizons that fit an array and are dense in rows; never for n too small
+// (the counts array would dwarf the dataset) or spans past the cap.
+func TestUseCountingSortHeuristic(t *testing.T) {
+	const day = 24 * 3600
+	if !useCountingSort(5_000_000, 30*day) {
+		t.Error("large-scale synthesis (5M rows / 30 days) must take the counting sort")
+	}
+	if useCountingSort(30_000, 30*day) {
+		t.Error("small synthesis must not pay a 30-day counts array")
+	}
+	if useCountingSort(100_000_000, (16<<20)+1) {
+		t.Error("spans past the cap must fall back regardless of density")
+	}
+	if useCountingSort(0, 0) {
+		t.Error("empty span must fall back")
+	}
+}
+
+// TestEmitSortedColumnsEmpty covers the zero-row edge (a config whose users
+// all have zero activities).
+func TestEmitSortedColumnsEmpty(t *testing.T) {
+	d := &Dataset{}
+	emitSortedColumns(d, nil, Epoch.Unix(), 86400)
+	if d.NumActivities() != 0 {
+		t.Errorf("NumActivities = %d, want 0", d.NumActivities())
+	}
+}
+
+// TestPermIntoMatchesRandPerm pins that the scratch-buffer permutation is
+// rand.Perm bit for bit — same values, same generator consumption.
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	var scratch []int
+	for n := 0; n < 40; n++ {
+		a, b := rand.New(rand.NewSource(int64(n))), rand.New(rand.NewSource(int64(n)))
+		want := a.Perm(n)
+		got := permInto(b, n, &scratch)
+		if !reflect.DeepEqual(append([]int{}, got...), want) {
+			t.Fatalf("n=%d: permInto = %v, want %v", n, got, want)
+		}
+		if aNext, bNext := a.Int63(), b.Int63(); aNext != bNext {
+			t.Fatalf("n=%d: generator state diverged after permutation", n)
+		}
+	}
+}

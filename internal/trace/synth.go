@@ -1,10 +1,12 @@
 package trace
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"dosn/internal/socialgraph"
@@ -161,13 +163,14 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	for _, c := range counts {
 		est += c
 	}
-	// Activities are generated per user, then sorted once — stably, so equal
-	// seconds keep generation order — and emitted into the columns already in
-	// timestamp order. Reindex's sortedness check then skips its permutation
-	// pass: synthetic data is never re-sorted.
+	// Activities are generated per user, then placed into the columns in
+	// stable timestamp order by one counting-sort pass (emitSortedColumns).
+	// Reindex's sortedness check then skips its permutation pass: synthetic
+	// data is never comparison-sorted.
 	rows := make([]genRow, 0, est)
 	epochUnix := Epoch.Unix()
 	zipf := newZipfSampler(cfg.AffinityZipfS)
+	var permScratch []int
 	for u := 0; u < cfg.Users; u++ {
 		targets := activityTargets(g, socialgraph.UserID(u))
 		if len(targets) == 0 {
@@ -176,7 +179,7 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 		// Each user has his own stable favorite order; without the shuffle
 		// the Zipf skew would systematically favor low user IDs (friend
 		// lists are ID-sorted) and bias the MostActive policy globally.
-		perm := rng.Perm(len(targets))
+		perm := permInto(rng, len(targets), &permScratch)
 		for i := 0; i < counts[u]; i++ {
 			recv := targets[perm[zipf.rank(rng, len(targets))]]
 			minute := sampleMinute(rng, homes[u], cfg)
@@ -189,13 +192,72 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 			})
 		}
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].atUnix < rows[j].atUnix })
-	d.grow(len(rows))
-	for _, r := range rows {
-		d.appendColumns(r.creator, r.receiver, r.atUnix)
-	}
+	emitSortedColumns(d, rows, epochUnix, int64(cfg.Days)*24*3600)
 	d.Reindex()
 	return d, nil
+}
+
+// emitSortedColumns places the generated rows into d's columns in stable
+// timestamp order, allocating each column exactly once at final size. Both
+// orderings below are stable on the timestamp key, so the column bytes are
+// identical whichever path runs (equal seconds keep generation order, which
+// Reindex's CSR build then preserves per user); the choice is purely a cost
+// decision, pinned by TestQuickEmitSortedColumnsMatchesStableSort.
+func emitSortedColumns(d *Dataset, rows []genRow, epochUnix, span int64) {
+	n := len(rows)
+	creator := make([]socialgraph.UserID, n)
+	receiver := make([]socialgraph.UserID, n)
+	atUnix := make([]int64, n)
+	if useCountingSort(n, span) {
+		countingSortColumns(rows, epochUnix, span, creator, receiver, atUnix)
+	} else {
+		stableSortColumns(rows, creator, receiver, atUnix)
+	}
+	d.setColumns(creator, receiver, atUnix)
+}
+
+// useCountingSort decides between the O(n + span) counting sort and the
+// O(n log n) comparison sort. Every synthetic timestamp lies in [epochUnix,
+// epochUnix+span) — day < Days, minute < 1440, second < 60 — so counting is
+// valid whenever the span fits an array; it wins when the rows are dense
+// enough in the horizon that the span-sized counts array is small next to
+// the row volume (the large-scale regime the sort used to dominate), and
+// loses on small syntheses where a 30-day counts array would dwarf the
+// dataset itself.
+func useCountingSort(n int, span int64) bool {
+	const maxCountingSpan = 16 << 20 // ≈185 days ≈ 64 MB of counts at most
+	return span > 0 && span <= maxCountingSpan && span <= int64(n)*4
+}
+
+// countingSortColumns is one counting pass, one prefix sum, and one
+// random-access placement pass; scanning rows in generation order makes the
+// placement stable.
+func countingSortColumns(rows []genRow, epochUnix, span int64, creator, receiver []socialgraph.UserID, atUnix []int64) {
+	counts := make([]int32, span)
+	for _, r := range rows {
+		counts[r.atUnix-epochUnix]++
+	}
+	pos := int32(0)
+	for k := range counts {
+		c := counts[k]
+		counts[k] = pos
+		pos += c
+	}
+	for _, r := range rows {
+		k := r.atUnix - epochUnix
+		p := counts[k]
+		counts[k] = p + 1
+		creator[p], receiver[p], atUnix[p] = r.creator, r.receiver, r.atUnix
+	}
+}
+
+// stableSortColumns is the generic (monomorphized, reflection-free) stable
+// comparison sort, for sparse or unbounded horizons.
+func stableSortColumns(rows []genRow, creator, receiver []socialgraph.UserID, atUnix []int64) {
+	slices.SortStableFunc(rows, func(a, b genRow) int { return cmp.Compare(a.atUnix, b.atUnix) })
+	for i, r := range rows {
+		creator[i], receiver[i], atUnix[i] = r.creator, r.receiver, r.atUnix
+	}
 }
 
 // genRow is the synthesizer's transient row form before the sorted columns
@@ -203,6 +265,23 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 type genRow struct {
 	creator, receiver socialgraph.UserID
 	atUnix            int64
+}
+
+// permInto is rand.Perm writing into a reusable scratch buffer: the same
+// Fisher–Yates loop as math/rand (including the i=0 iteration, which draws
+// from the rng), so it consumes the generator identically and produces the
+// identical permutation — without one slice allocation per user.
+func permInto(rng *rand.Rand, n int, scratch *[]int) []int {
+	if cap(*scratch) < n {
+		*scratch = make([]int, n)
+	}
+	m := (*scratch)[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
 }
 
 // activityTargets returns the users u's activities can land on: friends in
@@ -218,30 +297,41 @@ func activityTargets(g *socialgraph.Graph, u socialgraph.UserID) []socialgraph.U
 
 // followerGraph assigns each user the given number of followers, drawn
 // uniformly from the other users. The heavy tail comes from the follower-
-// count sequence itself.
+// count sequence itself. Rejection sampling runs against one reusable stamp
+// array instead of a per-user map — the same accept/reject decisions, so
+// identical RNG consumption and identical (sorted) follower lists, without
+// n map allocations.
 func followerGraph(followerCounts []int, rng *rand.Rand) *socialgraph.Graph {
 	n := len(followerCounts)
 	b := socialgraph.NewBuilder(socialgraph.Directed, n)
+	total := 0
+	for _, want := range followerCounts {
+		if want > n-1 {
+			want = n - 1
+		}
+		total += want
+	}
+	b.Grow(total)
+	seen := make([]int32, n) // seen[f] == u+1 ⟺ f already drawn for user u
+	var fs []socialgraph.UserID
 	for u := 0; u < n; u++ {
 		want := followerCounts[u]
 		if want > n-1 {
 			want = n - 1
 		}
-		seen := make(map[int]bool, want)
-		for len(seen) < want {
+		stamp := int32(u) + 1
+		fs = fs[:0]
+		for len(fs) < want {
 			f := rng.Intn(n)
-			if f == u || seen[f] {
+			if f == u || seen[f] == stamp {
 				continue
 			}
-			seen[f] = true
+			seen[f] = stamp
+			fs = append(fs, socialgraph.UserID(f))
 		}
-		fs := make([]int, 0, len(seen))
-		for f := range seen {
-			fs = append(fs, f)
-		}
-		sort.Ints(fs) // determinism: map order must not leak into the graph
+		slices.Sort(fs) // determinism: draw order must not leak into the graph
 		for _, f := range fs {
-			b.AddEdge(socialgraph.UserID(u), socialgraph.UserID(f)) // f follows u
+			b.AddEdge(socialgraph.UserID(u), f) // f follows u
 		}
 	}
 	return b.Build()

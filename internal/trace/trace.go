@@ -170,17 +170,18 @@ func (d *Dataset) appendColumns(creator, receiver socialgraph.UserID, atUnix int
 	d.invalidate()
 }
 
+// setColumns replaces the trace with fully built columns (index-aligned,
+// owned by the dataset afterwards). It is the bulk-construction entry the
+// synthesizer and the activity filter use to avoid per-row append growth.
+func (d *Dataset) setColumns(creator, receiver []socialgraph.UserID, atUnix []int64) {
+	d.creator, d.receiver, d.atUnix = creator, receiver, atUnix
+	d.invalidate()
+}
+
 // invalidate drops the CSR indexes after a column mutation.
 func (d *Dataset) invalidate() {
 	d.createdOff, d.createdIdx = nil, nil
 	d.receivedOff, d.receivedIdx = nil, nil
-}
-
-// grow reserves column capacity for n additional activities.
-func (d *Dataset) grow(n int) {
-	d.creator = slices.Grow(d.creator, n)
-	d.receiver = slices.Grow(d.receiver, n)
-	d.atUnix = slices.Grow(d.atUnix, n)
 }
 
 // Reindex sorts the activities by timestamp (stable, preserving insertion
@@ -480,18 +481,43 @@ func (d *Dataset) FilterMinActivity(min int) *Dataset {
 		}
 	}
 	sub, orig := d.Graph.InducedSubgraph(kept)
-	remap := make(map[socialgraph.UserID]socialgraph.UserID, len(orig))
+	// Dense remap column instead of a map: remap[oldID] is the new ID, -1
+	// for dropped users. Out-of-range IDs (possible in hand-built traces)
+	// drop exactly as the map path dropped them.
+	remap := make([]socialgraph.UserID, d.NumUsers())
+	for i := range remap {
+		remap[i] = -1
+	}
 	for newID, oldID := range orig {
 		remap[oldID] = socialgraph.UserID(newID)
 	}
-	out := &Dataset{Name: d.Name, Graph: sub}
+	mapped := func(u socialgraph.UserID) socialgraph.UserID {
+		if u < 0 || int(u) >= len(remap) {
+			return -1
+		}
+		return remap[u]
+	}
+	// Count the survivors first so the filtered columns are allocated once
+	// at exact size instead of growing row by row.
+	n := 0
 	for i := range d.creator {
-		nc, okC := remap[d.creator[i]]
-		nr, okR := remap[d.receiver[i]]
-		if okC && okR {
-			out.appendColumns(nc, nr, d.atUnix[i])
+		if mapped(d.creator[i]) >= 0 && mapped(d.receiver[i]) >= 0 {
+			n++
 		}
 	}
+	creator := make([]socialgraph.UserID, 0, n)
+	receiver := make([]socialgraph.UserID, 0, n)
+	atUnix := make([]int64, 0, n)
+	for i := range d.creator {
+		nc, nr := mapped(d.creator[i]), mapped(d.receiver[i])
+		if nc >= 0 && nr >= 0 {
+			creator = append(creator, nc)
+			receiver = append(receiver, nr)
+			atUnix = append(atUnix, d.atUnix[i])
+		}
+	}
+	out := &Dataset{Name: d.Name, Graph: sub}
+	out.setColumns(creator, receiver, atUnix)
 	out.Reindex() // input order is already timestamp order: no re-sort
 	return out
 }
