@@ -748,3 +748,111 @@ func BenchmarkMatrixLarge(b *testing.B) {
 		"bytes_per_user": bytesPerUser,
 	})
 }
+
+// hugeShardSize is the sweep shard budget of the huge-tier benchmarks: the
+// streaming reducer holds at most ~this many users' chunk grids alive, and
+// the figure doubles as the -shard-size a huge CLI run would pass.
+const hugeShardSize = 1 << 17
+
+// BenchmarkMatrixHuge is the million-user tier: one 1M-user facebook cell
+// end to end through the sharded pipeline — streaming synthesis into exactly
+// pre-sized columns, shard-granular schedule build, and the streaming shard
+// sweep (ShardSize) bounding live reduction state. Besides ns/cell it
+// records bytes_per_user, the columnar footprint per synthesized user, which
+// benchguard pins against the large tier (the huge row must stay within the
+// ~1.6 KB/user budget the README documents). Skipped under -short:
+// BenchmarkMatrixHugeSmoke exercises the same sharded path at CI scale.
+func BenchmarkMatrixHuge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("huge scale (1M users/dataset) skipped in -short mode")
+	}
+	const hugeUsers = 1_000_000
+	spec := harness.MatrixSpec{
+		Datasets:   []harness.DatasetSpec{{Name: "facebook", Users: hugeUsers, Seed: 1}},
+		Models:     []harness.ModelSpec{harness.Sporadic()},
+		Modes:      []string{"ConRep"},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		RootSeed:   benchSeed,
+	}
+	ds, err := dosn.SynthesizeCalibrated("facebook", hugeUsers, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := ds.Stats()
+	bytesPerUser := float64(stats.Bytes) / float64(stats.Users)
+	// Drop the stats dataset before timing so the measured run holds only
+	// the harness's own copy (the peak the shard budget is about).
+	ds = nil
+	runtime.GC()
+	var m *harness.RunManifest
+	b.ReportAllocs()
+	meter := startAllocMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err = harness.Run(spec, harness.RunOptions{ShardSize: hugeShardSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(nsPerCell, "ns/cell")
+	b.ReportMetric(bytesPerUser, "bytes/user")
+	recordMatrixBench(b, "MatrixHuge", map[string]float64{
+		"cells":          float64(len(m.Cells)),
+		"users_filtered": float64(stats.Users),
+		"shard_size":     float64(hugeShardSize),
+		"ns_per_cell":    nsPerCell,
+		"bytes_per_op":   meter.perOp(b.N),
+		"bytes_per_user": bytesPerUser,
+	})
+}
+
+// BenchmarkMatrixHugeSmoke is the huge tier at CI scale: the same spec shape
+// and the same sharded execution path (a ShardSize far below the population,
+// so the streaming reducer actually streams), but small enough for the -short
+// smoke run. Its per-user metrics are recorded so benchguard can gate the
+// sharded path's cost on every CI build even though the full 1M benchmark
+// only runs on workstations.
+func BenchmarkMatrixHugeSmoke(b *testing.B) {
+	const smokeUsers = 20_000
+	spec := harness.MatrixSpec{
+		Datasets:   []harness.DatasetSpec{{Name: "facebook", Users: smokeUsers, Seed: 1}},
+		Models:     []harness.ModelSpec{harness.Sporadic()},
+		Modes:      []string{"ConRep"},
+		MaxDegree:  10,
+		UserDegree: 10,
+		Repeats:    benchRepeats,
+		RootSeed:   benchSeed,
+	}
+	ds, err := dosn.SynthesizeCalibrated("facebook", smokeUsers, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := ds.Stats()
+	bytesPerUser := float64(stats.Bytes) / float64(stats.Users)
+	var m *harness.RunManifest
+	b.ReportAllocs()
+	meter := startAllocMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Shard of 256 users over a 20k population: dozens of real shard
+		// batches per sweep, the streaming path CI is smoking out.
+		m, err = harness.Run(spec, harness.RunOptions{ShardSize: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerCell := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(m.Cells))
+	b.ReportMetric(nsPerCell, "ns/cell")
+	recordMatrixBench(b, "MatrixHugeSmoke", map[string]float64{
+		"cells":          float64(len(m.Cells)),
+		"users_filtered": float64(stats.Users),
+		"ns_per_cell":    nsPerCell,
+		"bytes_per_op":   meter.perOp(b.N),
+		"bytes_per_user": bytesPerUser,
+	})
+}

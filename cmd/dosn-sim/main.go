@@ -50,7 +50,7 @@ func run() error {
 	var (
 		figID      = flag.String("fig", "", "figure to regenerate (fig2, fig3a, ..., fig11d), 'all', or 'list'")
 		experiment = flag.String("experiment", "", "extension experiment: protocol | loadbalance | objective | history | churn | arch")
-		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000)")
+		scale      = flag.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000) | huge (1000000)")
 		outDir     = flag.String("out", "", "directory for gnuplot .dat files (default: print to stdout)")
 		ascii      = flag.Bool("ascii", true, "render ASCII charts to stdout")
 		repeats    = flag.Int("repeats", 3, "randomized-run repetitions (paper uses 5)")
@@ -87,6 +87,14 @@ func run() error {
 // it inside a workstation's memory (see README "Dataset layout & memory").
 const LargeScaleUsers = 100_000
 
+// HugeScaleUsers is the per-dataset user count of the "huge" scale: the
+// million-user tier the ROADMAP's north star names. The sharded synthesis,
+// schedule-build and streaming-sweep paths keep its peak memory bounded by
+// the columnar trace plus the schedule arena (README "Dataset layout &
+// memory"); pair it with `matrix -shard-size` to bound the sweep's live
+// reduction state too.
+const HugeScaleUsers = 1_000_000
+
 func scaleUsers(scale string) (fb, tw int, err error) {
 	switch scale {
 	case "small":
@@ -97,8 +105,10 @@ func scaleUsers(scale string) (fb, tw int, err error) {
 		return dosn.PaperFacebookUsers, dosn.PaperTwitterUsers, nil
 	case "large":
 		return LargeScaleUsers, LargeScaleUsers, nil
+	case "huge":
+		return HugeScaleUsers, HugeScaleUsers, nil
 	default:
-		return 0, 0, fmt.Errorf("unknown scale %q (small|medium|paper|large)", scale)
+		return 0, 0, fmt.Errorf("unknown scale %q (small|medium|paper|large|huge)", scale)
 	}
 }
 

@@ -17,7 +17,8 @@ func TestScaleUsers(t *testing.T) {
 		{scale: "medium", fb: 5000, tw: 5000},
 		{scale: "paper", fb: 13884, tw: 14933},
 		{scale: "large", fb: 100000, tw: 100000},
-		{scale: "huge", wantErr: true},
+		{scale: "huge", fb: 1000000, tw: 1000000},
+		{scale: "gigantic", wantErr: true},
 		{scale: "", wantErr: true},
 	}
 	for _, tt := range tests {

@@ -22,7 +22,7 @@ import (
 func runMatrix(args []string) error {
 	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
 	var (
-		scale      = fs.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000)")
+		scale      = fs.String("scale", "small", "dataset scale: small (2000 users) | medium (5000) | paper (13884/14933) | large (100000) | huge (1000000)")
 		datasets   = fs.String("datasets", "facebook,twitter", "comma-separated datasets (facebook|twitter)")
 		models     = fs.String("models", "sporadic,random,fixed2,fixed4,fixed6,fixed8", "comma-separated models (sporadic[:SECONDS]|random|fixedN)")
 		modes      = fs.String("modes", "conrep,unconrep", "comma-separated modes (conrep|unconrep)")
@@ -34,6 +34,7 @@ func runMatrix(args []string) error {
 		repeats    = fs.Int("repeats", 3, "randomized-run repetitions (paper uses 5)")
 		rootSeed   = fs.Int64("seed", 42, "root seed; cell seeds derive from it and the cell coordinates")
 		workers    = fs.Int("workers", 0, "concurrent cells (0 = NumCPU); never affects results")
+		shardSize  = fs.Int("shard-size", 0, "stream each sweep in shards of ~this many users, bounding live reduction memory (0 = all at once); never affects results")
 		jsonOut    = fs.String("json", "", "write the run manifest as JSON to this file ('-' = stdout)")
 		csvOut     = fs.String("csv", "", "write per-(cell,policy,degree) rows as CSV to this file ('-' = stdout)")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress on stderr")
@@ -124,7 +125,10 @@ func runMatrix(args []string) error {
 	}
 
 	start := time.Now()
-	opts := harness.RunOptions{Workers: *workers}
+	if *shardSize < 0 {
+		return fmt.Errorf("-shard-size must be >= 0, got %d", *shardSize)
+	}
+	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize}
 	if !*quiet {
 		opts.Progress = func(done, total int, cell harness.CellSpec, elapsed time.Duration) {
 			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-42s %8v\n", digits(total), done, total, cell.Key(), elapsed.Round(time.Millisecond))

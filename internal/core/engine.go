@@ -91,6 +91,14 @@ type Config struct {
 	// Workers bounds the worker pool; default runtime.NumCPU(). The result
 	// does not depend on the worker count.
 	Workers int
+	// ShardUsers streams the sweep in batches of roughly this many users
+	// (rounded up to whole sweep chunks), bounding live per-chunk grid
+	// memory to one batch instead of the full population. Zero or negative
+	// means one batch of all users. Purely an execution knob: the chunk
+	// partition and the reduction order depend only on the user list, so
+	// the result bits are identical for any ShardUsers value, exactly as
+	// for any Workers value.
+	ShardUsers int
 	// Schedules optionally supplies precomputed per-repetition schedule
 	// tables (Schedules[rep], user-indexed arena rows). When set for a
 	// repetition, the engine uses it instead of calling Model.BuildTable,
@@ -262,14 +270,18 @@ func mergeGrids(dst, src [][]Cell) {
 // users, and a 16-user chunk still spreads that over every core.
 const sweepChunkSize = 16
 
-// sweepOnce processes all users for one repetition with a worker pool.
+// sweepOnce processes all users for one repetition with a worker pool,
+// streaming the fixed global chunk sequence through bounded shard batches.
 // Workers claim fixed index-ordered chunks of users and reduce each chunk's
-// samples in user order into a per-chunk grid; the chunk grids are then
-// merged sequentially in chunk order. Both accumulation orders are fixed by
-// the user list alone, so the result is bit-identical regardless of worker
-// count or goroutine scheduling. Live memory is O(chunks × policies ×
-// degrees) — all chunk grids are held until the final merge, a few MB at
-// paper scale — in exchange for that scheduling independence.
+// samples in user order into a per-chunk grid; after each batch the chunk
+// grids are merged sequentially in chunk order before the next batch starts.
+// The chunk partition, the per-chunk accumulation order, and the global
+// chunk-order merge are all fixed by the user list alone — batches only
+// decide how many chunk grids are alive at once — so the result is
+// bit-identical regardless of worker count, shard size, or goroutine
+// scheduling. Live memory is O(batch chunks × policies × degrees): the full
+// population (ShardUsers <= 0) costs a few MB at paper scale, and a huge-
+// tier run with ShardUsers set holds only its shard's grids.
 //
 // The repetition's schedule table is shared read-only: its arena rows are
 // the bitmap slice every worker reads, with no densification step on this
@@ -288,35 +300,45 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 		}
 	}
 	nChunks := (len(cfg.Users) + sweepChunkSize - 1) / sweepChunkSize
-	chunkGrids := make([][][]Cell, nChunks)
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var scratch sweepScratch
-			for {
-				ci := int(next.Add(1))
-				if ci >= nChunks {
-					return
-				}
-				lo := ci * sweepChunkSize
-				hi := min(lo+sweepChunkSize, len(cfg.Users))
-				grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
-				for _, u := range cfg.Users[lo:hi] {
-					sweepUser(cfg, sets, bitmaps, rep, u, grid, &scratch)
-				}
-				chunkGrids[ci] = grid
-			}
-		}()
+	batchChunks := nChunks
+	if cfg.ShardUsers > 0 {
+		batchChunks = max(1, (cfg.ShardUsers+sweepChunkSize-1)/sweepChunkSize)
 	}
-	wg.Wait()
 
 	grid := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
-	for _, g := range chunkGrids {
-		mergeGrids(grid, g)
+	chunkGrids := make([][][]Cell, min(batchChunks, nChunks))
+	for cs := 0; cs < nChunks; cs += batchChunks {
+		ce := min(cs+batchChunks, nChunks)
+		batch := chunkGrids[:ce-cs]
+		var next atomic.Int64
+		next.Store(int64(cs) - 1)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var scratch sweepScratch
+				for {
+					ci := int(next.Add(1))
+					if ci >= ce {
+						return
+					}
+					lo := ci * sweepChunkSize
+					hi := min(lo+sweepChunkSize, len(cfg.Users))
+					g := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
+					for _, u := range cfg.Users[lo:hi] {
+						sweepUser(cfg, sets, bitmaps, rep, u, g, &scratch)
+					}
+					batch[ci-cs] = g
+				}
+			}()
+		}
+		wg.Wait()
+
+		for i, g := range batch {
+			mergeGrids(grid, g)
+			batch[i] = nil // grid is collectible as soon as it is merged
+		}
 	}
 	return grid
 }

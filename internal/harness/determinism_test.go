@@ -41,6 +41,41 @@ func TestRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestRunByteIdenticalAcrossShardSizes pins that ShardSize — the huge-tier
+// streaming-sweep knob — is execution-only, exactly like the worker counts:
+// a huge-shaped (but small-N) matrix cell produces byte-identical manifests
+// whether the sweep streams one user at a time, an odd shard that straddles
+// the 16-user chunk boundaries, or the whole population in one batch,
+// across worker-count variation too.
+func TestRunByteIdenticalAcrossShardSizes(t *testing.T) {
+	spec := testSpec()
+	spec.Models = spec.Models[:1]
+	marshal := func(opts RunOptions) []byte {
+		t.Helper()
+		m, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", opts, err)
+		}
+		data, err := m.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := marshal(RunOptions{Workers: 1, CoreWorkers: 1, ShardSize: 0}) // all users, one batch
+	variants := []RunOptions{
+		{Workers: 1, CoreWorkers: 1, ShardSize: 1},
+		{Workers: 2, CoreWorkers: 2, ShardSize: 7},
+		{Workers: 4, CoreWorkers: 1, ShardSize: 7},
+		{Workers: 1, CoreWorkers: 8, ShardSize: 1 << 20}, // shard larger than the population
+	}
+	for _, opts := range variants {
+		if got := marshal(opts); !bytes.Equal(ref, got) {
+			t.Errorf("manifest bytes differ for %+v", opts)
+		}
+	}
+}
+
 // TestRunSubsetIsConsistentWithFullMatrix verifies that running a sub-matrix
 // reproduces the exact cells of the full matrix: cell seeds hash coordinates,
 // not indices, so adding rows to a spec never perturbs existing results.

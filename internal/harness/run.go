@@ -24,6 +24,12 @@ type RunOptions struct {
 	// max(1, NumCPU/Workers) so the two layers together roughly fill the
 	// machine without gross oversubscription.
 	CoreWorkers int
+	// ShardSize streams each cell's sweep in batches of roughly this many
+	// users (core.Config.ShardUsers), bounding the sweep's live per-chunk
+	// reduction state to one shard. Zero means one batch of all users.
+	// Execution-only, like Workers: the manifest bytes are identical for
+	// any shard size.
+	ShardSize int
 	// Progress, when set, is called after each finished cell.
 	Progress func(done, total int, cell CellSpec, elapsed time.Duration)
 }
@@ -192,7 +198,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 					return
 				}
 				start := time.Now()
-				results[i], errs[i] = runCell(spec, cells[i], policies, opts.CoreWorkers, shared)
+				results[i], errs[i] = runCell(spec, cells[i], policies, opts, shared)
 				if opts.Progress != nil {
 					mu.Lock()
 					opts.Progress(int(done.Add(1)), len(cells), cells[i], time.Since(start))
@@ -219,8 +225,10 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 
 // runCell executes one cell's replication-degree sweep. FriendReplica cells
 // sweep the spec's policy list; DHT cells sweep their architecture's
-// placement over the dataset's shared ring.
-func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWorkers int, shared *caches) (CellResult, error) {
+// placement over the dataset's shared ring. Only execution knobs are read
+// from opts (CoreWorkers, ShardSize); the cell result depends on (spec,
+// cell) alone.
+func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches) (CellResult, error) {
 	ds, err := shared.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
 		return buildDataset(cell.Dataset)
 	})
@@ -242,7 +250,7 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWork
 	if err != nil {
 		return CellResult{}, err
 	}
-	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model, coreWorkers)
+	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model, opts.CoreWorkers)
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -256,7 +264,8 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, coreWork
 		UserDegree: spec.UserDegree,
 		Repeats:    spec.Repeats,
 		Seed:       seed,
-		Workers:    coreWorkers,
+		Workers:    opts.CoreWorkers,
+		ShardUsers: opts.ShardSize,
 		Schedules:  schedules,
 	})
 	if err != nil {

@@ -100,6 +100,16 @@ func (s Sporadic) sessionMinutes() int {
 	return m
 }
 
+// buildShardUsers is the user granularity of the shard-by-shard Sporadic
+// build: phase 1 and phase 2 alternate shard by shard, so the per-activity
+// draw column is sized for one shard's activity volume instead of the whole
+// population's (at 1M users the whole-population column is ~100 MB; per
+// shard it is a few MB, reused across shards). Draws stay in global
+// per-user order — all of user u's draws happen before user u+1's, across
+// shard boundaries too — so the table bytes are identical to the historical
+// whole-population build for any shard size and any worker count.
+const buildShardUsers = 1 << 16
+
 // BuildTable implements Model. A user with no created activities gets an
 // empty schedule (never online), mirroring the paper's observation that
 // online times must be inferred from activity.
@@ -107,37 +117,57 @@ func (s Sporadic) sessionMinutes() int {
 // Phase 1 draws one session offset per created activity — the random point
 // inside the session at which the activity happens — into a flat per-activity
 // column aligned with the dataset's created-activity CSR index. Phase 2 ORs
-// each user's session windows into his arena row.
+// each user's session windows into his arena row. Both phases run shard by
+// shard (buildShardUsers) with the draw column reused, bounding peak memory
+// by one shard's activities.
 func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
 	sess := s.sessionMinutes()
 	n := d.NumUsers()
 	t := NewTable(n)
 
-	// Per-user offsets into the flat draw column (CSR-style prefix sums).
-	uoff := make([]int32, n+1)
-	for u := 0; u < n; u++ {
-		uoff[u+1] = uoff[u] + int32(len(d.CreatedIdx(socialgraph.UserID(u))))
-	}
-	// Session offsets fit in int16: sessionMinutes() <= DayMinutes = 1440.
-	offs := make([]int16, uoff[n])
-	for i := range offs {
-		offs[i] = int16(rng.Intn(sess))
-	}
-
-	forEachRowRange(n, workers, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			acts := d.CreatedIdx(socialgraph.UserID(u))
-			base := uoff[u]
-			row := &t.rows[u]
-			for j, k := range acts {
-				// The activity happens at a uniformly random point inside
-				// the session, so the session starts up to sess-1 minutes
-				// earlier.
-				start := d.MinuteOfDayAt(int(k)) - int(offs[base+int32(j)])
-				row.AddInterval(interval.Interval{Start: start, End: start + sess})
-			}
+	var uoff []int32 // per-shard CSR-style prefix sums, reused across shards
+	var offs []int16 // per-shard draw column, reused across shards
+	for slo := 0; slo < n; slo += buildShardUsers {
+		shi := min(slo+buildShardUsers, n)
+		m := shi - slo
+		// Per-user offsets into this shard's draw column. Subtotals fit
+		// int32: a shard's created activities are bounded by the dataset
+		// total, which every construction path caps at trace.MaxActivities.
+		if cap(uoff) >= m+1 {
+			uoff = uoff[:m+1]
+		} else {
+			uoff = make([]int32, m+1)
 		}
-	})
+		uoff[0] = 0
+		for u := slo; u < shi; u++ {
+			uoff[u-slo+1] = uoff[u-slo] + int32(len(d.CreatedIdx(socialgraph.UserID(u))))
+		}
+		total := int(uoff[m])
+		// Session offsets fit in int16: sessionMinutes() <= DayMinutes = 1440.
+		if cap(offs) >= total {
+			offs = offs[:total]
+		} else {
+			offs = make([]int16, total)
+		}
+		for i := range offs {
+			offs[i] = int16(rng.Intn(sess))
+		}
+
+		forEachRowRangeIn(slo, shi, workers, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				acts := d.CreatedIdx(socialgraph.UserID(u))
+				base := uoff[u-slo]
+				row := &t.rows[u]
+				for j, k := range acts {
+					// The activity happens at a uniformly random point inside
+					// the session, so the session starts up to sess-1 minutes
+					// earlier.
+					start := d.MinuteOfDayAt(int(k)) - int(offs[base+int32(j)])
+					row.AddInterval(interval.Interval{Start: start, End: start + sess})
+				}
+			}
+		})
+	}
 	return t
 }
 

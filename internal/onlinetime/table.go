@@ -102,13 +102,22 @@ const buildChunk = 512
 // bounded worker pool. fn must only touch state owned by its range. With
 // workers <= 1 (or a single chunk) it runs inline, allocating nothing.
 func forEachRowRange(users, workers int, fn func(lo, hi int)) {
+	forEachRowRangeIn(0, users, workers, fn)
+}
+
+// forEachRowRangeIn is forEachRowRange over the user range [lo, hi) — the
+// per-shard form the shard-by-shard schedule builds use. Chunk boundaries
+// depend only on the range, and every chunk writes a disjoint arena row
+// range, so the table bytes are identical for any worker count.
+func forEachRowRangeIn(lo, hi, workers int, fn func(lo, hi int)) {
+	users := hi - lo
 	nChunks := (users + buildChunk - 1) / buildChunk
 	if workers > nChunks {
 		workers = nChunks
 	}
 	if workers <= 1 {
 		if users > 0 {
-			fn(0, users)
+			fn(lo, hi)
 		}
 		return
 	}
@@ -124,9 +133,8 @@ func forEachRowRange(users, workers int, fn func(lo, hi int)) {
 				if ci >= nChunks {
 					return
 				}
-				lo := ci * buildChunk
-				hi := min(lo+buildChunk, users)
-				fn(lo, hi)
+				clo := lo + ci*buildChunk
+				fn(clo, min(clo+buildChunk, hi))
 			}
 		}()
 	}

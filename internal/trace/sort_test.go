@@ -10,69 +10,90 @@ import (
 	"dosn/internal/socialgraph"
 )
 
-// refSortColumns is the pre-counting-sort reference: the reflect-based
-// stable comparison sort over genRows, emitted row by row. emitSortedColumns
-// must reproduce its column bytes exactly — including the order of rows with
-// equal timestamps, which the CSR indexes (and therefore every schedule and
-// golden result) inherit.
-func refSortColumns(rows []genRow) (creator, receiver []socialgraph.UserID, atUnix []int64) {
-	sorted := make([]genRow, len(rows))
-	copy(sorted, rows)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].atUnix < sorted[j].atUnix })
-	for _, r := range sorted {
-		creator = append(creator, r.creator)
-		receiver = append(receiver, r.receiver)
-		atUnix = append(atUnix, r.atUnix)
+// testRows is a quick.Generator producing generation-order column batches
+// with heavy timestamp ties (small second range), the case where stability
+// is observable.
+type testRows struct {
+	creator, receiver []socialgraph.UserID
+	atUnix            []int64
+	span              int64
+}
+
+func (testRows) Generate(r *rand.Rand, size int) reflect.Value {
+	span := int64(1 + r.Intn(500))
+	n := r.Intn(400)
+	g := testRows{
+		creator:  make([]socialgraph.UserID, n),
+		receiver: make([]socialgraph.UserID, n),
+		atUnix:   make([]int64, n),
+		span:     span,
+	}
+	for i := 0; i < n; i++ {
+		// Distinct creators so any reordering of ties is visible.
+		g.creator[i] = socialgraph.UserID(i)
+		g.receiver[i] = socialgraph.UserID(r.Intn(50))
+		g.atUnix[i] = Epoch.Unix() + r.Int63n(span)
+	}
+	return reflect.ValueOf(g)
+}
+
+// refSortColumns is the stable reference ordering: a reflect-based stable
+// sort of row indexes by timestamp, gathered back into columns. Both
+// production orderings must reproduce its column bytes exactly — including
+// the order of rows with equal timestamps, which the CSR indexes (and
+// therefore every schedule and golden result) inherit.
+func refSortColumns(g testRows) (creator, receiver []socialgraph.UserID, atUnix []int64) {
+	perm := make([]int, len(g.atUnix))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return g.atUnix[perm[i]] < g.atUnix[perm[j]] })
+	creator = make([]socialgraph.UserID, 0, len(perm))
+	receiver = make([]socialgraph.UserID, 0, len(perm))
+	atUnix = make([]int64, 0, len(perm))
+	for _, p := range perm {
+		creator = append(creator, g.creator[p])
+		receiver = append(receiver, g.receiver[p])
+		atUnix = append(atUnix, g.atUnix[p])
 	}
 	return creator, receiver, atUnix
 }
 
-// genRows is a quick.Generator producing row batches with heavy timestamp
-// ties (small second range), the case where stability is observable.
-type genRows struct {
-	rows []genRow
-	span int64
-}
+// TestQuickScatterSortMatchesStableSort: both orderings — the counting
+// scatter (dense large-scale syntheses) and Reindex's stable permutation
+// sort (the sparse fallback) — reproduce the stable reference exactly, ties
+// included, so the synthesizer's cost heuristic can never change dataset
+// bytes.
+func TestQuickScatterSortMatchesStableSort(t *testing.T) {
+	prop := func(g testRows) bool {
+		wc, wr, wa := refSortColumns(g)
+		n := len(g.atUnix)
 
-func (genRows) Generate(r *rand.Rand, size int) reflect.Value {
-	span := int64(1 + r.Intn(500))
-	n := r.Intn(400)
-	rows := make([]genRow, n)
-	for i := range rows {
-		rows[i] = genRow{
-			// Distinct creators so any reordering of ties is visible.
-			creator:  socialgraph.UserID(i),
-			receiver: socialgraph.UserID(r.Intn(50)),
-			atUnix:   Epoch.Unix() + r.Int63n(span),
+		// Counting path: per-second histogram + column-by-column scatter.
+		hist := make([]int32, g.span)
+		for _, ts := range g.atUnix {
+			hist[ts-Epoch.Unix()]++
 		}
-	}
-	return reflect.ValueOf(genRows{rows: rows, span: span})
-}
+		creator := append([]socialgraph.UserID{}, g.creator...)
+		receiver := append([]socialgraph.UserID{}, g.receiver...)
+		atUnix := append([]int64{}, g.atUnix...)
+		scatterSortColumns(hist, Epoch.Unix(), &creator, &receiver, &atUnix)
+		if !reflect.DeepEqual(creator, wc) || !reflect.DeepEqual(receiver, wr) || !reflect.DeepEqual(atUnix, wa) {
+			t.Logf("n=%d: counting scatter ordered differently from the stable reference", n)
+			return false
+		}
 
-// TestQuickEmitSortedColumnsMatchesStableSort: both orderings — the
-// counting sort and the generic stable sort — reproduce the reflect-based
-// stable reference exactly, ties included, so emitSortedColumns's cost
-// heuristic can never change dataset bytes.
-func TestQuickEmitSortedColumnsMatchesStableSort(t *testing.T) {
-	prop := func(g genRows) bool {
-		wc, wr, wa := refSortColumns(g.rows)
-		n := len(g.rows)
-		for _, counting := range []bool{true, false} {
-			creator := make([]socialgraph.UserID, n)
-			receiver := make([]socialgraph.UserID, n)
-			atUnix := make([]int64, n)
-			rows := append([]genRow{}, g.rows...)
-			if counting {
-				countingSortColumns(rows, Epoch.Unix(), g.span, creator, receiver, atUnix)
-			} else {
-				stableSortColumns(rows, creator, receiver, atUnix)
-			}
-			if !reflect.DeepEqual(creator, append([]socialgraph.UserID{}, wc...)) ||
-				!reflect.DeepEqual(receiver, append([]socialgraph.UserID{}, wr...)) ||
-				!reflect.DeepEqual(atUnix, append([]int64{}, wa...)) {
-				t.Logf("counting=%v ordered differently from the stable reference", counting)
-				return false
-			}
+		// Fallback path: sortByTimestamp's stable permutation sort.
+		d := &Dataset{}
+		d.setColumns(
+			append([]socialgraph.UserID{}, g.creator...),
+			append([]socialgraph.UserID{}, g.receiver...),
+			append([]int64{}, g.atUnix...),
+		)
+		d.sortByTimestamp()
+		if !reflect.DeepEqual(d.creator, wc) || !reflect.DeepEqual(d.receiver, wr) || !reflect.DeepEqual(d.atUnix, wa) {
+			t.Logf("n=%d: sortByTimestamp ordered differently from the stable reference", n)
+			return false
 		}
 		return true
 	}
@@ -100,13 +121,15 @@ func TestUseCountingSortHeuristic(t *testing.T) {
 	}
 }
 
-// TestEmitSortedColumnsEmpty covers the zero-row edge (a config whose users
+// TestScatterSortColumnsEmpty covers the zero-row edge (a config whose users
 // all have zero activities).
-func TestEmitSortedColumnsEmpty(t *testing.T) {
-	d := &Dataset{}
-	emitSortedColumns(d, nil, Epoch.Unix(), 86400)
-	if d.NumActivities() != 0 {
-		t.Errorf("NumActivities = %d, want 0", d.NumActivities())
+func TestScatterSortColumnsEmpty(t *testing.T) {
+	var creator, receiver []socialgraph.UserID
+	var atUnix []int64
+	scatterSortColumns(make([]int32, 86400), Epoch.Unix(), &creator, &receiver, &atUnix)
+	if len(creator) != 0 || len(receiver) != 0 || len(atUnix) != 0 {
+		t.Errorf("scatter of empty columns produced %d/%d/%d rows, want 0",
+			len(creator), len(receiver), len(atUnix))
 	}
 }
 

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -158,19 +157,46 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	}
 
 	counts := lognormalInts(rng, cfg.Users, cfg.MeanActivities, cfg.SigmaActivities, 0, 100000)
-	d := &Dataset{Name: cfg.Name, Graph: g}
-	est := 0
-	for _, c := range counts {
-		est += c
+
+	// Exact row total before any column is allocated. activityTargets
+	// depends only on the graph and counts are already drawn, so the total
+	// consumes no RNG — generation below can stream each user's rows
+	// straight into columns pre-sized at their final length, with no
+	// whole-population row buffer in between. This is also where the int32
+	// index guard fires: past MaxActivities the CSR build and the sort
+	// permutation would silently wrap.
+	total := 0
+	for u := 0; u < cfg.Users; u++ {
+		if len(activityTargets(g, socialgraph.UserID(u))) > 0 {
+			total += counts[u]
+		}
 	}
-	// Activities are generated per user, then placed into the columns in
-	// stable timestamp order by one counting-sort pass (emitSortedColumns).
-	// Reindex's sortedness check then skips its permutation pass: synthetic
-	// data is never comparison-sorted.
-	rows := make([]genRow, 0, est)
+	if err := checkActivityCount(cfg.Name, total); err != nil {
+		return nil, err
+	}
+
+	d := &Dataset{Name: cfg.Name, Graph: g}
 	epochUnix := Epoch.Unix()
+	span := int64(cfg.Days) * 24 * 3600
+	// Generation order is user-ID order (the RNG contract every golden
+	// snapshot pins); the columns are then brought into stable timestamp
+	// order either by the counting scatter below (dense, large-scale
+	// syntheses; bounded scratch of one column at a time) or by Reindex's
+	// stable permutation sort (sparse horizons). Both are stable on the
+	// timestamp key, so the column bytes are identical whichever path runs —
+	// equal seconds keep generation order, which the CSR build preserves per
+	// user. Pinned by TestQuickScatterSortMatchesStableSort.
+	counting := useCountingSort(total, span)
+	var hist []int32
+	if counting {
+		hist = make([]int32, span)
+	}
+	creator := make([]socialgraph.UserID, total)
+	receiver := make([]socialgraph.UserID, total)
+	atUnix := make([]int64, total)
 	zipf := newZipfSampler(cfg.AffinityZipfS)
 	var permScratch []int
+	pos := 0
 	for u := 0; u < cfg.Users; u++ {
 		targets := activityTargets(g, socialgraph.UserID(u))
 		if len(targets) == 0 {
@@ -184,36 +210,20 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 			recv := targets[perm[zipf.rank(rng, len(targets))]]
 			minute := sampleMinute(rng, homes[u], cfg)
 			day := rng.Intn(cfg.Days)
-			atUnix := epochUnix + int64(day)*24*3600 + int64(minute)*60 + int64(rng.Intn(60))
-			rows = append(rows, genRow{
-				creator:  socialgraph.UserID(u),
-				receiver: recv,
-				atUnix:   atUnix,
-			})
+			at := epochUnix + int64(day)*24*3600 + int64(minute)*60 + int64(rng.Intn(60))
+			creator[pos], receiver[pos], atUnix[pos] = socialgraph.UserID(u), recv, at
+			if counting {
+				hist[at-epochUnix]++
+			}
+			pos++
 		}
 	}
-	emitSortedColumns(d, rows, epochUnix, int64(cfg.Days)*24*3600)
-	d.Reindex()
-	return d, nil
-}
-
-// emitSortedColumns places the generated rows into d's columns in stable
-// timestamp order, allocating each column exactly once at final size. Both
-// orderings below are stable on the timestamp key, so the column bytes are
-// identical whichever path runs (equal seconds keep generation order, which
-// Reindex's CSR build then preserves per user); the choice is purely a cost
-// decision, pinned by TestQuickEmitSortedColumnsMatchesStableSort.
-func emitSortedColumns(d *Dataset, rows []genRow, epochUnix, span int64) {
-	n := len(rows)
-	creator := make([]socialgraph.UserID, n)
-	receiver := make([]socialgraph.UserID, n)
-	atUnix := make([]int64, n)
-	if useCountingSort(n, span) {
-		countingSortColumns(rows, epochUnix, span, creator, receiver, atUnix)
-	} else {
-		stableSortColumns(rows, creator, receiver, atUnix)
+	if counting {
+		scatterSortColumns(hist, epochUnix, &creator, &receiver, &atUnix)
 	}
 	d.setColumns(creator, receiver, atUnix)
+	d.Reindex()
+	return d, nil
 }
 
 // useCountingSort decides between the O(n + span) counting sort and the
@@ -229,42 +239,58 @@ func useCountingSort(n int, span int64) bool {
 	return span > 0 && span <= maxCountingSpan && span <= int64(n)*4
 }
 
-// countingSortColumns is one counting pass, one prefix sum, and one
-// random-access placement pass; scanning rows in generation order makes the
-// placement stable.
-func countingSortColumns(rows []genRow, epochUnix, span int64, creator, receiver []socialgraph.UserID, atUnix []int64) {
-	counts := make([]int32, span)
-	for _, r := range rows {
-		counts[r.atUnix-epochUnix]++
+// scatterSortColumns brings generation-order columns into stable timestamp
+// order by one counting scatter per column. hist must hold, per second of
+// [epochUnix, epochUnix+span), the number of rows at that second. Scanning
+// rows in generation order makes the placement stable, and scattering one
+// column at a time — timestamps last, since they carry the scatter keys —
+// bounds the extra memory to a single replacement column plus two span-sized
+// cursor arrays, instead of a second full copy of the trace. The prefix-sum
+// cursors are int32 positions, safe because every construction path guards
+// len(atUnix) <= MaxActivities first.
+func scatterSortColumns(hist []int32, epochUnix int64, creator, receiver *[]socialgraph.UserID, atUnix *[]int64) {
+	ts := *atUnix
+	n := len(ts)
+	cur := make([]int32, len(hist))
+	reset := func() {
+		pos := int32(0)
+		for k, c := range hist {
+			cur[k] = pos
+			pos += c
+		}
 	}
-	pos := int32(0)
-	for k := range counts {
-		c := counts[k]
-		counts[k] = pos
-		pos += c
-	}
-	for _, r := range rows {
-		k := r.atUnix - epochUnix
-		p := counts[k]
-		counts[k] = p + 1
-		creator[p], receiver[p], atUnix[p] = r.creator, r.receiver, r.atUnix
-	}
-}
 
-// stableSortColumns is the generic (monomorphized, reflection-free) stable
-// comparison sort, for sparse or unbounded horizons.
-func stableSortColumns(rows []genRow, creator, receiver []socialgraph.UserID, atUnix []int64) {
-	slices.SortStableFunc(rows, func(a, b genRow) int { return cmp.Compare(a.atUnix, b.atUnix) })
-	for i, r := range rows {
-		creator[i], receiver[i], atUnix[i] = r.creator, r.receiver, r.atUnix
+	reset()
+	c2 := make([]socialgraph.UserID, n)
+	src := *creator
+	for i, t := range ts {
+		k := t - epochUnix
+		p := cur[k]
+		cur[k] = p + 1
+		c2[p] = src[i]
 	}
-}
+	*creator = c2 // generation-order creator column is now collectible
 
-// genRow is the synthesizer's transient row form before the sorted columns
-// are emitted.
-type genRow struct {
-	creator, receiver socialgraph.UserID
-	atUnix            int64
+	reset()
+	r2 := make([]socialgraph.UserID, n)
+	src = *receiver
+	for i, t := range ts {
+		k := t - epochUnix
+		p := cur[k]
+		cur[k] = p + 1
+		r2[p] = src[i]
+	}
+	*receiver = r2
+
+	reset()
+	t2 := make([]int64, n)
+	for _, t := range ts {
+		k := t - epochUnix
+		p := cur[k]
+		cur[k] = p + 1
+		t2[p] = t
+	}
+	*atUnix = t2
 }
 
 // permInto is rand.Perm writing into a reusable scratch buffer: the same

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"slices"
 	"sort"
 	"strconv"
@@ -190,7 +191,16 @@ func (d *Dataset) invalidate() {
 // mutating a Dataset by hand; the synthesizers and Read do it automatically.
 // Columns already in timestamp order — the synthesizers emit them that way —
 // skip the sort entirely after one O(n) check.
+//
+// Reindex panics with ErrTooManyActivities past MaxActivities rows: the CSR
+// indexes are int32 and would otherwise wrap silently. The error-returning
+// construction paths (Synthesize, Read) refuse such traces before any column
+// is allocated, so the panic is reachable only from hand-built datasets that
+// ignored those entry points.
 func (d *Dataset) Reindex() {
+	if err := checkActivityCount(d.Name, len(d.atUnix)); err != nil {
+		panic(err)
+	}
 	d.sortByTimestamp()
 	n := d.Graph.NumUsers()
 	d.createdOff, d.createdIdx = buildCSR(d.creator, n, d.createdOff, d.createdIdx)
@@ -576,6 +586,26 @@ func (s Stats) String() string {
 // ErrBadTraceFormat is returned by ReadActivities for malformed input.
 var ErrBadTraceFormat = errors.New("trace: malformed activity file")
 
+// ErrTooManyActivities is returned (wrapped) when a trace would exceed
+// MaxActivities rows. The CSR indexes and the sort permutation store activity
+// positions as int32; a larger trace would silently wrap those indexes into
+// corrupt cross-user references, so every construction path — Synthesize,
+// ReadActivities, Reindex — refuses first.
+var ErrTooManyActivities = errors.New("trace: activity count exceeds int32 index range")
+
+// MaxActivities is the largest activity count a Dataset can index: the CSR
+// arrays and sort permutations hold int32 positions.
+const MaxActivities = math.MaxInt32
+
+// checkActivityCount returns ErrTooManyActivities (wrapped, with context) if
+// n rows would overflow the int32 activity indexes.
+func checkActivityCount(name string, n int) error {
+	if n > MaxActivities {
+		return fmt.Errorf("trace: dataset %q: %d activities: %w", name, n, ErrTooManyActivities)
+	}
+	return nil
+}
+
 // writeActivityHeader and writeActivityRecord define the on-disk activity
 // CSV format in one place; WriteActivities (rows) and writeActivityColumns
 // (columns) are two loops over the same record layout, and ReadActivities is
@@ -651,6 +681,9 @@ func ReadActivities(r io.Reader) ([]Activity, error) {
 		parts := strings.SplitN(text, ",", 3)
 		if len(parts) != 3 {
 			return nil, fmt.Errorf("%w: line %d: %q", ErrBadTraceFormat, line, text)
+		}
+		if len(out) >= MaxActivities {
+			return nil, checkActivityCount("", len(out)+1)
 		}
 		c, err1 := strconv.Atoi(parts[0])
 		rcv, err2 := strconv.Atoi(parts[1])
