@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -140,6 +141,24 @@ func load(path string) (map[string]map[string]float64, error) {
 	return out, nil
 }
 
+// knownBenches returns the sorted union of benchmark entry names across both
+// files, for the unknown-benchmark error message.
+func knownBenches(base, cur map[string]map[string]float64) []string {
+	set := make(map[string]bool, len(base)+len(cur))
+	for name := range base {
+		set[name] = true
+	}
+	for name := range cur {
+		set[name] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // compare checks one metric of one benchmark entry against the same-named
 // baseline entry.
 func compare(base, cur map[string]map[string]float64, bench, metric string, maxRatio float64) (string, error) {
@@ -153,11 +172,28 @@ func compareEntries(base, cur map[string]map[string]float64, baseBench, bench, m
 	if maxRatio <= 0 {
 		return "", fmt.Errorf("max-ratio must be positive, got %v", maxRatio)
 	}
-	bv, ok := base[baseBench][metric]
+	// A benchmark absent from BOTH files is a misspelled -check spec, not a
+	// stale baseline: saying "run the benchmark and commit the baseline"
+	// would send the operator chasing a benchmark that does not exist.
+	baseEntry, ok := base[baseBench]
+	if !ok {
+		if _, inCur := cur[baseBench]; !inCur {
+			return "", fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", baseBench, strings.Join(knownBenches(base, cur), ", "))
+		}
+		return "", fmt.Errorf("baseline has no %s entry — run the benchmark and commit the baseline first", baseBench)
+	}
+	curEntry, ok := cur[bench]
+	if !ok {
+		if _, inBase := base[bench]; !inBase {
+			return "", fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", bench, strings.Join(knownBenches(base, cur), ", "))
+		}
+		return "", fmt.Errorf("current run has no %s entry — did the benchmark run?", bench)
+	}
+	bv, ok := baseEntry[metric]
 	if !ok {
 		return "", fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", baseBench, metric)
 	}
-	cv, ok := cur[bench][metric]
+	cv, ok := curEntry[metric]
 	if !ok {
 		return "", fmt.Errorf("current run has no %s.%s — did the benchmark run?", bench, metric)
 	}

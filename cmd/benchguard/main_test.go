@@ -104,6 +104,45 @@ func TestPinnedEntryGate(t *testing.T) {
 	}
 }
 
+// TestUnknownBenchmark pins the error for a -check spec naming a benchmark
+// that exists in neither file: the operator typo'd the spec, and must not be
+// told to "run the benchmark and commit the baseline" for a benchmark that
+// does not exist.
+func TestUnknownBenchmark(t *testing.T) {
+	files := map[string]map[string]float64{
+		"MatrixSmall": {"ns_per_cell": 100},
+		"DHTLookup":   {"ns_per_lookup": 700},
+	}
+	_, err := compare(files, files, "MatrixSmal", "ns_per_cell", 2)
+	if err == nil {
+		t.Fatal("typo'd benchmark name must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown benchmark "MatrixSmal"`) {
+		t.Errorf("err = %q, want unknown-benchmark diagnosis", msg)
+	}
+	if strings.Contains(msg, "commit the baseline") {
+		t.Errorf("err = %q: must not suggest committing a baseline for a nonexistent benchmark", msg)
+	}
+	if !strings.Contains(msg, "DHTLookup, MatrixSmall") {
+		t.Errorf("err = %q, want sorted known-entry list", msg)
+	}
+
+	// The @baseline-bench form must diagnose a typo'd pin entry the same way.
+	if _, err := compareEntries(files, files, "MatrixSmall_prePR", "MatrixSmall", "ns_per_cell", 0.75); err == nil ||
+		!strings.Contains(err.Error(), `unknown benchmark "MatrixSmall_prePR"`) {
+		t.Errorf("pinned-entry typo: err = %v, want unknown-benchmark diagnosis", err)
+	}
+
+	// Absent from baseline but present in current is the genuine
+	// stale-baseline situation; that message must survive the fix.
+	cur := map[string]map[string]float64{"MatrixSmall": {"ns_per_cell": 100}, "MatrixNew": {"ns_per_cell": 5}}
+	if _, err := compare(files, cur, "MatrixNew", "ns_per_cell", 2); err == nil ||
+		!strings.Contains(err.Error(), "commit the baseline") {
+		t.Errorf("stale baseline: err = %v, want commit-the-baseline hint", err)
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

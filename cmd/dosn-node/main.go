@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,6 +29,25 @@ import (
 	"dosn/internal/store"
 	"dosn/internal/wire"
 )
+
+// wallID validates a user-supplied wall/user number into the wire protocol's
+// int32 ID space: numbers outside [0, math.MaxInt32] are flag typos, not
+// IDs, and must not silently wrap into someone else's wall.
+func wallID(n int) (int32, error) {
+	if n < 0 || n > math.MaxInt32 {
+		return 0, fmt.Errorf("wall/user ID %d out of range [0, %d]", n, math.MaxInt32)
+	}
+	return int32(n), nil
+}
+
+// parseWallID parses and validates one wall/user ID from flag text.
+func parseWallID(s string) (int32, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad wall/user ID %q", s)
+	}
+	return wallID(n)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -54,26 +74,30 @@ func run() error {
 	if *id < 0 {
 		return fmt.Errorf("-id is required")
 	}
+	nodeID, err := wallID(*id)
+	if err != nil {
+		return fmt.Errorf("-id: %w", err)
+	}
 
-	st, err := openState(*statePath, int32(*id))
+	st, err := openState(*statePath, nodeID)
 	if err != nil {
 		return err
 	}
-	st.Host(int32(*id))
+	st.Host(nodeID)
 	if *walls != "" {
 		for _, w := range strings.Split(*walls, ",") {
-			wid, err := strconv.Atoi(strings.TrimSpace(w))
+			wid, err := parseWallID(w)
 			if err != nil {
-				return fmt.Errorf("bad wall %q", w)
+				return fmt.Errorf("-walls: %w", err)
 			}
-			st.Host(int32(wid))
+			st.Host(wid)
 		}
 	}
 	now := time.Now().Unix()
 	if err := authorPosts(st, *posts, now); err != nil {
 		return err
 	}
-	if err := setFields(st, *fields, now, int32(*id)); err != nil {
+	if err := setFields(st, *fields, now, nodeID); err != nil {
 		return err
 	}
 
@@ -130,11 +154,11 @@ loop:
 	}
 
 	if *show != "" {
-		wid, err := strconv.Atoi(*show)
+		wid, err := parseWallID(*show)
 		if err != nil {
-			return fmt.Errorf("bad -show %q", *show)
+			return fmt.Errorf("-show: %w", err)
 		}
-		ps, err := st.Posts(int32(wid))
+		ps, err := st.Posts(wid)
 		if err != nil {
 			return err
 		}
@@ -142,7 +166,7 @@ loop:
 		for _, p := range ps {
 			fmt.Printf("  [%d] by %d: %s\n", p.CreatedAt, p.ID.Author, p.Body)
 		}
-		fs, err := st.Fields(int32(wid))
+		fs, err := st.Fields(wid)
 		if err == nil && len(fs) > 0 {
 			fmt.Printf("fields: %v\n", fs)
 		}
@@ -221,12 +245,12 @@ func authorPosts(st *store.Store, spec string, now int64) error {
 		if !ok {
 			return fmt.Errorf("bad -post item %q (want wall:text)", item)
 		}
-		wid, err := strconv.Atoi(strings.TrimSpace(wallStr))
+		wid, err := parseWallID(wallStr)
 		if err != nil {
-			return fmt.Errorf("bad wall in -post %q", item)
+			return fmt.Errorf("bad wall in -post %q: %w", item, err)
 		}
-		st.Host(int32(wid)) // posting implies replicating locally first
-		if _, err := st.Author(int32(wid), body, now); err != nil {
+		st.Host(wid) // posting implies replicating locally first
+		if _, err := st.Author(wid, body, now); err != nil {
 			return err
 		}
 	}
@@ -247,12 +271,12 @@ func setFields(st *store.Store, spec string, now int64, writer int32) error {
 		if !ok {
 			return fmt.Errorf("bad -field item %q (want wall:name=value)", item)
 		}
-		wid, err := strconv.Atoi(strings.TrimSpace(wallStr))
+		wid, err := parseWallID(wallStr)
 		if err != nil {
-			return fmt.Errorf("bad wall in -field %q", item)
+			return fmt.Errorf("bad wall in -field %q: %w", item, err)
 		}
-		st.Host(int32(wid))
-		if _, err := st.SetField(int32(wid), name, store.Field{Value: value, At: now, Writer: writer}); err != nil {
+		st.Host(wid)
+		if _, err := st.SetField(wid, name, store.Field{Value: value, At: now, Writer: writer}); err != nil {
 			return err
 		}
 	}

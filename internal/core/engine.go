@@ -290,6 +290,8 @@ const sweepChunkSize = 16
 // Input.Schedules — no built-in policy does. Every worker owns one
 // sweepScratch, so the per-user metric accumulation allocates nothing
 // beyond the policy selections.
+//
+//dosn:hotpath
 func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 	bitmaps := table.Bitmaps()
 	var sets []interval.Set
@@ -309,38 +311,66 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 	chunkGrids := make([][][]Cell, min(batchChunks, nChunks))
 	for cs := 0; cs < nChunks; cs += batchChunks {
 		ce := min(cs+batchChunks, nChunks)
-		batch := chunkGrids[:ce-cs]
-		var next atomic.Int64
-		next.Store(int64(cs) - 1)
-		var wg sync.WaitGroup
-		for w := 0; w < cfg.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var scratch sweepScratch
-				for {
-					ci := int(next.Add(1))
-					if ci >= ce {
-						return
-					}
-					lo := ci * sweepChunkSize
-					hi := min(lo+sweepChunkSize, len(cfg.Users))
-					g := newGrid(len(cfg.Policies), cfg.MaxDegree+1)
-					for _, u := range cfg.Users[lo:hi] {
-						sweepUser(cfg, sets, bitmaps, rep, u, g, &scratch)
-					}
-					batch[ci-cs] = g
-				}
-			}()
+		b := sweepBatch{
+			cfg:     cfg,
+			sets:    sets,
+			bitmaps: bitmaps,
+			rep:     rep,
+			cs:      cs,
+			ce:      ce,
+			batch:   chunkGrids[:ce-cs],
 		}
-		wg.Wait()
+		b.next.Store(int64(cs) - 1)
+		for w := 0; w < cfg.Workers; w++ {
+			b.wg.Add(1)
+			go b.work()
+		}
+		b.wg.Wait()
 
-		for i, g := range batch {
+		for i, g := range b.batch {
 			mergeGrids(grid, g)
-			batch[i] = nil // grid is collectible as soon as it is merged
+			b.batch[i] = nil // grid is collectible as soon as it is merged
 		}
 	}
 	return grid
+}
+
+// sweepBatch is the shared state of one chunk batch's worker pool. The
+// workers run the named work method rather than a closure: the hot sweep
+// spawns one goroutine per worker per batch, and a capturing closure would
+// heap-allocate its environment each time (and hide which state is shared).
+type sweepBatch struct {
+	cfg     Config
+	sets    []interval.Set
+	bitmaps []interval.Bitmap
+	rep     int
+	cs, ce  int
+	batch   [][][]Cell
+	next    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// work is one worker's loop: claim fixed index-ordered chunks and reduce
+// each chunk's users in order into that chunk's grid. Chunk claiming is the
+// only cross-worker coordination; everything else is owned state.
+//
+//dosn:hotpath
+func (b *sweepBatch) work() {
+	defer b.wg.Done()
+	var scratch sweepScratch
+	for {
+		ci := int(b.next.Add(1))
+		if ci >= b.ce {
+			return
+		}
+		lo := ci * sweepChunkSize
+		hi := min(lo+sweepChunkSize, len(b.cfg.Users))
+		g := newGrid(len(b.cfg.Policies), b.cfg.MaxDegree+1)
+		for _, u := range b.cfg.Users[lo:hi] {
+			sweepUser(b.cfg, b.sets, b.bitmaps, b.rep, u, g, &scratch)
+		}
+		b.batch[ci-b.cs] = g
+	}
 }
 
 // sweepScratch holds one worker's reusable buffers: the incrementally grown
@@ -365,6 +395,8 @@ type sweepScratch struct {
 // for RNG seeding, only MaxAv(activity) pays for the demand set, and sets —
 // the vestigial sorted-interval schedules — is nil unless some policy's
 // traits declare it reads Input.Schedules.
+//
+//dosn:hotpath
 func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
 	ds := cfg.Dataset
 	friends := ds.Graph.Neighbors(u)

@@ -21,6 +21,7 @@ package dht
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"dosn/internal/socialgraph"
@@ -78,6 +79,11 @@ func BuildRing(n int, cfg Config) (*Ring, error) {
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("dht: ring needs at least one node, got %d", n)
+	}
+	if n > math.MaxInt32 {
+		// Ring positions (pos, fingers) are int32; more nodes would wrap
+		// them into corrupt cross-node references.
+		return nil, fmt.Errorf("dht: %d nodes exceed the int32 position space", n)
 	}
 	r := &Ring{
 		bits:  cfg.Bits,

@@ -197,6 +197,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 				if i >= len(cells) {
 					return
 				}
+				//dosn:wallclock elapsed feeds only the Progress callback; results never read it
 				start := time.Now()
 				results[i], errs[i] = runCell(spec, cells[i], policies, opts, shared)
 				if opts.Progress != nil {

@@ -78,13 +78,19 @@ func BitmapsFromSets(sets []Set) []Bitmap {
 }
 
 // Clear empties the bitmap in place.
+//
+//dosn:hotpath
 func (b *Bitmap) Clear() { b.w = [BitmapWords]uint64{} }
 
 // CopyFrom makes b an exact copy of o.
+//
+//dosn:hotpath
 func (b *Bitmap) CopyFrom(o *Bitmap) { b.w = o.w }
 
 // SetFrom replaces b's contents with the dense form of s, reusing b's
 // storage (no allocation).
+//
+//dosn:hotpath
 func (b *Bitmap) SetFrom(s Set) {
 	b.Clear()
 	for _, iv := range s.ivs {
@@ -94,6 +100,8 @@ func (b *Bitmap) SetFrom(s Set) {
 
 // AddInterval sets the minutes of a (possibly wrapping, possibly
 // out-of-range) interval, canonicalized exactly like NewSet.
+//
+//dosn:hotpath
 func (b *Bitmap) AddInterval(iv Interval) {
 	length := iv.End - iv.Start
 	if length <= 0 {
@@ -114,6 +122,8 @@ func (b *Bitmap) AddInterval(iv Interval) {
 }
 
 // setRange sets bits [start, end) with 0 <= start <= end <= DayMinutes.
+//
+//dosn:hotpath
 func (b *Bitmap) setRange(start, end int) {
 	if start >= end {
 		return
@@ -187,6 +197,8 @@ func (b *Bitmap) Set() Set {
 
 // word returns word i with the out-of-day bits of the final word masked off,
 // so iteration code never sees phantom minutes ≥ DayMinutes.
+//
+//dosn:hotpath
 func (b *Bitmap) word(i int) uint64 {
 	if i == BitmapWords-1 {
 		return b.w[i] & lastWordMask
@@ -195,6 +207,8 @@ func (b *Bitmap) word(i int) uint64 {
 }
 
 // IsEmpty reports whether no minute is set.
+//
+//dosn:hotpath
 func (b *Bitmap) IsEmpty() bool {
 	for i := range b.w {
 		if b.word(i) != 0 {
@@ -205,6 +219,8 @@ func (b *Bitmap) IsEmpty() bool {
 }
 
 // Minutes returns the measure of the set in minutes (population count).
+//
+//dosn:hotpath
 func (b *Bitmap) Minutes() int {
 	n := 0
 	for i := range b.w {
@@ -215,15 +231,21 @@ func (b *Bitmap) Minutes() int {
 
 // Fraction returns the measure as a fraction of the day, matching
 // Set.Fraction bit for bit.
+//
+//dosn:hotpath
 func (b *Bitmap) Fraction() float64 { return float64(b.Minutes()) / DayMinutes }
 
 // Contains reports whether minute m (reduced modulo the day) is set.
+//
+//dosn:hotpath
 func (b *Bitmap) Contains(m int) bool {
 	m = mod(m)
 	return b.w[m/64]&(1<<uint(m%64)) != 0
 }
 
 // Equal reports whether b and o contain exactly the same minutes.
+//
+//dosn:hotpath
 func (b *Bitmap) Equal(o *Bitmap) bool {
 	for i := range b.w {
 		if b.word(i) != o.word(i) {
@@ -234,6 +256,8 @@ func (b *Bitmap) Equal(o *Bitmap) bool {
 }
 
 // OrWith unions o into b in place.
+//
+//dosn:hotpath
 func (b *Bitmap) OrWith(o *Bitmap) {
 	for i := range b.w {
 		b.w[i] |= o.w[i]
@@ -241,6 +265,8 @@ func (b *Bitmap) OrWith(o *Bitmap) {
 }
 
 // AndWith intersects b with o in place.
+//
+//dosn:hotpath
 func (b *Bitmap) AndWith(o *Bitmap) {
 	for i := range b.w {
 		b.w[i] &= o.w[i]
@@ -248,6 +274,8 @@ func (b *Bitmap) AndWith(o *Bitmap) {
 }
 
 // Union returns b ∪ o as a new bitmap.
+//
+//dosn:hotpath
 func (b *Bitmap) Union(o *Bitmap) Bitmap {
 	out := *b
 	out.OrWith(o)
@@ -255,6 +283,8 @@ func (b *Bitmap) Union(o *Bitmap) Bitmap {
 }
 
 // Intersect returns b ∩ o as a new bitmap.
+//
+//dosn:hotpath
 func (b *Bitmap) Intersect(o *Bitmap) Bitmap {
 	out := *b
 	out.AndWith(o)
@@ -271,6 +301,8 @@ func (dst *Bitmap) IntersectInto(a, b *Bitmap) {
 
 // Intersects reports whether b and o share at least one minute, with
 // early-exit per word (the dense analogue of Set.Overlaps).
+//
+//dosn:hotpath
 func (b *Bitmap) Intersects(o *Bitmap) bool {
 	for i := range b.w {
 		if b.word(i)&o.word(i) != 0 {
@@ -282,6 +314,8 @@ func (b *Bitmap) Intersects(o *Bitmap) bool {
 
 // OverlapMinutes returns |b ∩ o| without materializing the intersection —
 // the dense analogue of Set.OverlapLen.
+//
+//dosn:hotpath
 func (b *Bitmap) OverlapMinutes(o *Bitmap) int {
 	n := 0
 	for i := range b.w {
@@ -295,6 +329,8 @@ func (b *Bitmap) OverlapMinutes(o *Bitmap) int {
 // on-demand-activity objective). The unrestricted gain |b \ covered| needs
 // no dedicated operation — it is Minutes(b) − OverlapMinutes(b, covered),
 // which MaxAv computes from its cached candidate sizes.
+//
+//dosn:hotpath
 func (b *Bitmap) MinutesInNotIn(universe, covered *Bitmap) int {
 	n := 0
 	for i := range b.w {
@@ -307,6 +343,8 @@ func (b *Bitmap) MinutesInNotIn(universe, covered *Bitmap) int {
 // length starting at start (start is reduced modulo the day; a length ≥
 // DayMinutes covers the whole day). It equals OverlapLen against
 // Window(start, length) without building the window.
+//
+//dosn:hotpath
 func (b *Bitmap) OnesInRange(start, length int) int {
 	if length <= 0 {
 		return 0
@@ -323,6 +361,8 @@ func (b *Bitmap) OnesInRange(start, length int) int {
 }
 
 // countRange counts set bits in [start, end) with 0 <= start <= end <= DayMinutes.
+//
+//dosn:hotpath
 func (b *Bitmap) countRange(start, end int) int {
 	if start >= end {
 		return 0
@@ -343,6 +383,8 @@ func (b *Bitmap) countRange(start, end int) int {
 // MaxGap returns the longest circular run of minutes not in the set — the
 // same quantity as Set.MaxGap, computed by scanning words for zero runs. ok
 // is false when the set is empty; a full-day set has gap 0.
+//
+//dosn:hotpath
 func (b *Bitmap) MaxGap() (gap int, ok bool) {
 	maxRun, run := 0, 0
 	leading := -1 // zero run before the first set bit, for the circular wrap

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand forbids nondeterminism sources in the deterministic packages: the
+// simulation's contract is that every result is a pure function of (spec,
+// seed), bit-identical across worker counts and reruns. Wall-clock reads and
+// the global math/rand source break replay silently.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: `forbid nondeterminism sources in deterministic packages
+
+In packages whose results must be a pure function of (config, seed) — core,
+harness, trace, onlinetime, replica, dht, interval, metrics, stats,
+socialgraph — flags:
+
+  - time.Now() calls (waive execution-only instrumentation with
+    //dosn:wallclock <justification>);
+  - the global math/rand top-level functions (rand.Intn, rand.Float64,
+    rand.Shuffle, ...), which draw from a shared process-wide source;
+  - rand.NewSource(x) where x does not visibly derive from a seed: some
+    identifier in the argument must contain "seed" (case-insensitive), the
+    repository's convention for plumbed Config/seed parameters.
+
+Methods on an explicit *rand.Rand are always fine.`,
+	Run: runDetRand,
+}
+
+// deterministicPkgs names the packages (by path base) under the
+// pure-function-of-seed contract.
+var deterministicPkgs = map[string]bool{
+	"core": true, "harness": true, "trace": true, "onlinetime": true,
+	"replica": true, "dht": true, "interval": true, "metrics": true,
+	"stats": true, "socialgraph": true,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are handled
+// separately: they only produce state, they do not draw from it.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+func runDetRand(pass *Pass) error {
+	if !deterministicPkgs[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs := parseDirectives(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPkgPath(pass, sel) {
+			case "time":
+				if sel.Sel.Name != "Now" {
+					break
+				}
+				if d, ok := dirs.covering(pass.Fset, call.Pos(), DirectiveWallClock); ok && d.arg != "" {
+					break
+				}
+				pass.Reportf(call.Pos(), "time.Now in deterministic package %s: results must be a pure function of (config, seed); waive execution-only instrumentation with //dosn:wallclock <why>", pass.Pkg.Name())
+			case "math/rand":
+				name := sel.Sel.Name
+				if globalRandFuncs[name] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source; use a *rand.Rand seeded from the config", name)
+					break
+				}
+				if name == "NewSource" && len(call.Args) == 1 && !mentionsSeed(call.Args[0]) {
+					pass.Reportf(call.Pos(), "rand.NewSource argument does not derive from a seed: plumb a Config/seed parameter (an identifier containing \"seed\") instead of %s", exprText(call.Args[0]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mentionsSeed reports whether any identifier in expr contains "seed",
+// case-insensitive — the naming convention for deterministic seed plumbing
+// (cfg.Seed, seed, spec.scheduleSeed(...), mix(cfg.Seed, ...)).
+func mentionsSeed(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "seed") {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders a short description of an expression for messages.
+func exprText(expr ast.Expr) string {
+	if id := rootIdent(expr); id != nil {
+		return "an expression over " + id.Name
+	}
+	return "this expression"
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"go/types"
+)
+
+// hotStructs are the structs that dominate resident memory (Dataset: one per
+// dataset scale; Table: one per online-time model) or sweep-loop locality
+// (sweepScratch: one per worker; CellResult: one per matrix cell). Their
+// layout must waste no padding: a byte of padding in Dataset is a byte per
+// activity column header, and sweepScratch padding dilutes L1 lines on the
+// hottest loop in the repo.
+var hotStructs = []struct {
+	pkg, name string
+}{
+	{"dosn/internal/trace", "Dataset"},
+	{"dosn/internal/core", "sweepScratch"},
+	{"dosn/internal/harness", "CellResult"},
+	{"dosn/internal/onlinetime", "Table"},
+}
+
+// TestHotStructFieldAlignment pins optimal field alignment: each hot struct's
+// declared field order must produce the same size as the best order found by
+// the fieldalignment heuristic (fields sorted by alignment, then size,
+// descending). A new field inserted in the wrong place fails here with the
+// wasted byte count.
+func TestHotStructFieldAlignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, hs := range hotStructs {
+		pkg := byPath[hs.pkg]
+		if pkg == nil {
+			t.Errorf("package %s not loaded", hs.pkg)
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup(hs.name)
+		if obj == nil {
+			t.Errorf("%s.%s not found", hs.pkg, hs.name)
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			t.Errorf("%s.%s is not a struct", hs.pkg, hs.name)
+			continue
+		}
+		cur := structSize(sizes, fieldTypes(st))
+		best := structSize(sizes, optimalOrder(sizes, fieldTypes(st)))
+		if cur > best {
+			t.Errorf("%s.%s: %d bytes as declared, %d achievable — reorder fields (alignment desc, size desc)", hs.pkg, hs.name, cur, best)
+		} else {
+			t.Logf("%s.%s: %d bytes, optimally packed", hs.pkg, hs.name, cur)
+		}
+	}
+}
+
+func fieldTypes(st *types.Struct) []types.Type {
+	out := make([]types.Type, st.NumFields())
+	for i := range out {
+		out[i] = st.Field(i).Type()
+	}
+	return out
+}
+
+// structSize lays fields out in order with gc alignment rules and returns the
+// total struct size including trailing padding.
+func structSize(sizes types.Sizes, fields []types.Type) int64 {
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := sizes.Alignof(f)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = align(off, a)
+		off += sizes.Sizeof(f)
+	}
+	return align(off, maxAlign)
+}
+
+// optimalOrder is the fieldalignment heuristic: alignment descending, then
+// size descending (stable, so equal fields keep declaration order).
+func optimalOrder(sizes types.Sizes, fields []types.Type) []types.Type {
+	out := append([]types.Type(nil), fields...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := sizes.Alignof(out[i]), sizes.Alignof(out[j])
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(out[i]) > sizes.Sizeof(out[j])
+	})
+	return out
+}
+
+func align(off, a int64) int64 {
+	return (off + a - 1) &^ (a - 1)
+}

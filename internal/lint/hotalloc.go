@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc enforces the PR 4/5 accessor discipline statically: a function
+// annotated //dosn:hotpath runs once per user (or per activity) in the sweep
+// inner loop, so any per-call allocation multiplies by millions.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: `forbid allocating constructs in //dosn:hotpath functions
+
+In a function whose doc comment carries //dosn:hotpath, flags:
+
+  - append whose destination is not rooted at a parameter or receiver
+    (growing caller-owned scratch in place is the sanctioned pattern;
+    growing a function-local slice allocates per call);
+  - map and slice composite literals;
+  - function literals that capture enclosing variables (each capture forces
+    a heap-allocated closure environment);
+  - fmt.Sprintf / Sprint / Sprintln / Errorf;
+  - interface boxing of scalar values (passing, assigning or returning a
+    number/bool as an interface allocates the box).
+
+make() and new() are deliberately not flagged: pre-sizing scratch inside a
+setup branch is how hot paths avoid allocation elsewhere, and both are
+obvious in review. The annotation is an assertion, not a waiver — fix the
+construct or remove the annotation.`,
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcHasDirective(fn, DirectiveHotPath) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkHotFunc reports the allocating constructs in one annotated function.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	owned := paramObjects(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, e, owned)
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(e.Pos(), "map literal allocates in //dosn:hotpath %s; hoist it to setup or caller-owned scratch", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(e.Pos(), "slice literal allocates in //dosn:hotpath %s; hoist it to setup or caller-owned scratch", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, fn, e); capt != nil {
+				pass.Reportf(e.Pos(), "closure captures %s in //dosn:hotpath %s; each capture heap-allocates the environment — hoist to a named function taking explicit arguments", capt.Name(), fn.Name.Name)
+			}
+			return false // don't re-flag the closure's own body constructs
+		case *ast.AssignStmt:
+			if e.Tok != token.ASSIGN {
+				return true // := infers the static type; no boxing
+			}
+			for i, lhs := range e.Lhs {
+				if i >= len(e.Rhs) {
+					break
+				}
+				checkBoxing(pass, fn, typeOfExpr(pass, lhs), e.Rhs[i])
+			}
+		case *ast.ReturnStmt:
+			sig, ok := pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+			if !ok || sig.Results().Len() != len(e.Results) {
+				return true
+			}
+			for i, res := range e.Results {
+				checkBoxing(pass, fn, sig.Results().At(i).Type(), res)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags non-parameter-rooted appends, fmt formatting, and
+// scalar arguments boxed into interface parameters.
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, owned map[types.Object]bool) {
+	if isBuiltin(pass, call, "append") {
+		if len(call.Args) == 0 {
+			return
+		}
+		root := rootIdent(call.Args[0])
+		if root == nil || !owned[pass.TypesInfo.Uses[root]] {
+			dest := "the destination"
+			if root != nil {
+				dest = root.Name
+			}
+			pass.Reportf(call.Pos(), "append to %s in //dosn:hotpath %s: only caller-owned scratch (rooted at a parameter or receiver) may grow on the hot path", dest, fn.Name.Name)
+		}
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && importedPkgPath(pass, sel) == "fmt" {
+		switch sel.Sel.Name {
+		case "Sprintf", "Sprint", "Sprintln", "Errorf":
+			pass.Reportf(call.Pos(), "fmt.%s allocates in //dosn:hotpath %s; format off the hot path", sel.Sel.Name, fn.Name.Name)
+			return
+		}
+	}
+	// Scalar-to-interface boxing at call boundaries.
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversions are int32cast's concern
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (i < sig.Params().Len() && !sig.Variadic()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt != nil {
+			checkBoxing(pass, fn, pt, arg)
+		}
+	}
+}
+
+// checkBoxing reports a scalar expression converted to an interface type.
+func checkBoxing(pass *Pass, fn *ast.FuncDecl, target types.Type, expr ast.Expr) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsNumeric|types.IsBoolean) == 0 {
+		return
+	}
+	if tv.Value != nil {
+		return // constants box to preallocated values for small ints; still cheap, and common in error paths
+	}
+	pass.Reportf(expr.Pos(), "scalar %s boxed into interface in //dosn:hotpath %s; each boxing heap-allocates", b.Name(), fn.Name.Name)
+}
+
+// paramObjects collects the objects of fn's parameters and receiver — the
+// caller-owned roots append may grow.
+func paramObjects(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	return owned
+}
+
+// capturedVar returns one variable the literal captures from the enclosing
+// function, or nil: an identifier used inside the literal whose declaration
+// lies inside fn but outside the literal.
+func capturedVar(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) *types.Var {
+	var capt *types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Pos() == token.NoPos {
+			return capt == nil
+		}
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			capt = v
+			return false
+		}
+		return capt == nil
+	})
+	return capt
+}

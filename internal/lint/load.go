@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked target package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns (relative to dir) with
+// `go list` and type-checks them from source. Dependencies — including the
+// standard library — are checked with function bodies ignored, so one full
+// `./...` load stays in the low seconds with no compiled export data and no
+// network. Test files are excluded (go list's GoFiles omits them), matching
+// `go vet`'s default surface.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	listed := make(map[string]*listPackage)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		p := lp
+		listed[p.ImportPath] = &p
+		if !p.DepOnly && !p.Standard {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		listed: listed,
+		done:   make(map[string]*checked),
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		c, err := ld.check(t.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Name:      t.Name,
+			Dir:       t.Dir,
+			Fset:      ld.fset,
+			Files:     c.files,
+			Types:     c.pkg,
+			TypesInfo: c.info,
+		})
+	}
+	return pkgs, nil
+}
+
+// loader memoizes per-import-path type checking over one shared FileSet.
+type loader struct {
+	fset   *token.FileSet
+	listed map[string]*listPackage
+	done   map[string]*checked
+}
+
+type checked struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// Import implements types.Importer: dependencies are checked on demand.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	c, err := l.check(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.pkg, nil
+}
+
+// check type-checks one package, memoized. Whether a package is a target
+// (full check with bodies and Info) or a dependency (bodies ignored) is a
+// property of the package itself — a target imported by another target must
+// still come out fully checked.
+func (l *loader) check(path string) (*checked, error) {
+	if c, ok := l.done[path]; ok {
+		return c, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q not in go list output", path)
+	}
+	depOnly := lp.DepOnly || lp.Standard
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	cfg := types.Config{
+		Importer:         l,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		IgnoreFuncBodies: depOnly,
+		// Dependency sources (notably the standard library's internal
+		// packages) may trip minor checker limitations; without bodies the
+		// declarations still come out usable, so soft-fail those. Target
+		// packages must check clean.
+		Error: func(error) {},
+	}
+	var info *types.Info
+	if !depOnly {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil && !depOnly {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("typecheck %s: no package produced", path)
+	}
+	c := &checked{pkg: pkg, files: files, info: info}
+	l.done[path] = c
+	return c, nil
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration whose body is sensitive to iteration order —
+// exactly how worker-count-dependent float reductions and shuffled emit
+// orders enter a codebase whose manifests must be byte-identical.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `flag order-dependent iteration over maps
+
+Flags a range over a map whose body
+
+  - appends to a slice declared outside the loop,
+  - accumulates into an outside float variable (+=, -=, *=, /=), or
+  - writes through an encoder/writer/printer method,
+
+because Go randomizes map iteration order, so the accumulated value or the
+emitted byte order differs between runs.
+
+Not flagged: the collect-then-sort idiom (the appended-to slice is passed to
+a sort.*/slices.* call later in the same block), commutative bodies (integer
+counting, map-to-map writes), and loops carrying
+//dosn:orderinvariant <justification>.`,
+	Run: runMapOrder,
+}
+
+// writerMethods are method names whose call inside a map-range body emits
+// output in iteration order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		dirs := parseDirectives(pass.Fset, file)
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if d, ok := dirs.covering(pass.Fset, rs.Pos(), DirectiveOrderInvariant); ok && d.arg != "" {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports the order-dependent constructs in one map-range
+// body.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+				return true
+			}
+			lhsObj := outsideObject(pass, rs, stmt.Lhs[0])
+			if lhsObj == nil {
+				return true
+			}
+			if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+				if !sortedAfter(pass, rs, stack, lhsObj) {
+					pass.Reportf(stmt.Pos(), "append to %s inside a map range records iteration order; collect then sort, or waive with //dosn:orderinvariant <why>", lhsObj.Name())
+				}
+				return true
+			}
+			if isFloatAccum(pass, stmt) {
+				pass.Reportf(stmt.Pos(), "float accumulation into %s inside a map range is order-dependent (FP addition does not commute bit-exactly); iterate sorted keys, or waive with //dosn:orderinvariant <why>", lhsObj.Name())
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(stmt.Fun).(*ast.SelectorExpr)
+			if !ok || !writerMethods[sel.Sel.Name] {
+				return true
+			}
+			// Writing into loop-local state (a per-iteration buffer) cannot
+			// leak iteration order; only outer destinations can.
+			if outsideObject(pass, rs, sel.X) == nil {
+				return true
+			}
+			pass.Reportf(stmt.Pos(), "%s call inside a map range emits in iteration order; iterate sorted keys, or waive with //dosn:orderinvariant <why>", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// outsideObject resolves the root variable of an assignment target and
+// returns it only when it is declared outside the range statement — writes
+// to loop-local state cannot leak iteration order.
+func outsideObject(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil // declared inside the loop
+	}
+	return obj
+}
+
+// isFloatAccum reports whether stmt is a compound accumulation (+=, -=, *=,
+// /=) into a float-typed target.
+func isFloatAccum(pass *Pass, stmt *ast.AssignStmt) bool {
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	typ := typeOfExpr(pass, stmt.Lhs[0])
+	if typ == nil {
+		return false
+	}
+	b, ok := typ.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedAfter recognizes the collect-then-sort idiom: after the range
+// statement, in the same enclosing block, the collected slice is passed to a
+// sorting call (sort.Slice, sort.Sort, sort.Ints, slices.Sort, ... — any
+// callee from sort/slices or whose name contains "sort").
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	for _, stmt := range block.List {
+		if stmt.Pos() <= rs.End() {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, obj) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall reports whether the call sorts: any function from the sort or
+// slices packages, or any callee whose name contains "sort".
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch importedPkgPath(pass, sel) {
+		case "sort", "slices":
+			return true
+		}
+	}
+	return strings.Contains(strings.ToLower(calleeName(call)), "sort")
+}

@@ -1,0 +1,12 @@
+// Package plotx (fixture) is outside the deterministic set: the same
+// constructs that fire in the core fixture draw no findings here.
+package plotx
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(x int64) (time.Time, int, *rand.Rand) {
+	return time.Now(), rand.Intn(3), rand.New(rand.NewSource(x))
+}

@@ -1,0 +1,82 @@
+// Package fixture exercises hotalloc: each forbidden allocating construct
+// inside //dosn:hotpath functions, the sanctioned caller-owned-scratch
+// append, and the unannotated negative.
+package fixture
+
+import "fmt"
+
+type scratch struct{ buf []int }
+
+// growsParam is the sanctioned pattern: scratch rooted at a parameter grows
+// in place, amortized by the caller.
+//
+//dosn:hotpath
+func growsParam(s *scratch, v int) {
+	s.buf = append(s.buf, v)
+}
+
+// growsReceiver: receiver-rooted scratch is caller-owned too.
+//
+//dosn:hotpath
+func (s *scratch) push(v int) {
+	s.buf = append(s.buf, v)
+}
+
+//dosn:hotpath
+func growsLocal(v int) []int {
+	var out []int
+	out = append(out, v) // want `append to out in //dosn:hotpath growsLocal`
+	return out
+}
+
+//dosn:hotpath
+func literals(n int) int {
+	m := map[int]int{n: n} // want `map literal allocates`
+	s := []int{n, n}       // want `slice literal allocates`
+	return len(m) + len(s)
+}
+
+//dosn:hotpath
+func closes(total int) func() int {
+	return func() int { // want `closure captures total`
+		return total
+	}
+}
+
+//dosn:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt\.Sprintf allocates`
+}
+
+func sink(v any) {}
+
+//dosn:hotpath
+func argBoxes(n int) {
+	sink(n) // want `scalar int boxed into interface`
+}
+
+//dosn:hotpath
+func returnBoxes(n int) any {
+	return n // want `scalar int boxed into interface`
+}
+
+//dosn:hotpath
+func assignBoxes(n int) {
+	var v any
+	v = n // want `scalar int boxed into interface`
+	_ = v
+}
+
+// pointers and structs do not box scalars; passing them is fine.
+//
+//dosn:hotpath
+func passesPointer(s *scratch) {
+	sink(s)
+}
+
+// coldPath has the same constructs but no annotation: hotalloc is opt-in.
+func coldPath(v int) ([]int, string) {
+	var out []int
+	out = append(out, v)
+	return out, fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises int32cast: unguarded narrowing conversions and
+// every exoneration the analyzer grants.
+//
+// guarded versus unguarded is the acceptance demonstration that deleting any
+// one bounds guard of the trace/synth.go shape makes dosn-vet exit non-zero:
+// the two functions differ only by the checkRows call before the loop.
+package fixture
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// MaxRows mirrors trace.MaxActivities: the int32 index ceiling.
+const MaxRows = math.MaxInt32
+
+var errTooBig = errors.New("fixture: too many rows")
+
+func checkRows(n int) error {
+	if n > MaxRows {
+		return errTooBig
+	}
+	return nil
+}
+
+// guarded mirrors trace.Synthesize/Reindex: a check* call dominates every
+// later conversion in the function.
+func guarded(col []int64) ([]int32, error) {
+	if err := checkRows(len(col)); err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(col))
+	for i := range col {
+		out[i] = int32(i)
+	}
+	return out, nil
+}
+
+func unguarded(col []int64) []int32 {
+	out := make([]int32, len(col))
+	for i := range col {
+		out[i] = int32(i) // want `unguarded narrowing conversion int32`
+	}
+	return out
+}
+
+// maxGuarded mirrors dht.BuildRing: an explicit comparison against a Max*
+// bound guards the whole construction.
+func maxGuarded(col []int64) []int32 {
+	if len(col) > MaxRows {
+		panic(errTooBig)
+	}
+	out := make([]int32, len(col))
+	for i := range col {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// comparedOperand: an earlier condition comparing the operand itself is a
+// visible bounds guard.
+func comparedOperand(n int) int32 {
+	if n < 1000 {
+		return int32(n)
+	}
+	return 0
+}
+
+func uncompared(n int) int32 {
+	return int32(n) // want `unguarded narrowing conversion int32`
+}
+
+func narrow16(n int) int16 {
+	return int16(n) // want `unguarded narrowing conversion int16`
+}
+
+func waived(n int) int32 {
+	//dosn:boundschecked callers validate n against the wire ID limit
+	return int32(n)
+}
+
+// boundedDraw: rand.Intn with a constant bound that fits the target.
+func boundedDraw(rng *rand.Rand) int16 {
+	return int16(rng.Intn(1440))
+}
+
+// constant operands cannot overflow at runtime.
+func constOperand() int32 {
+	const rows = 1 << 20
+	return int32(rows)
+}
+
+// UserID conversions are identities, not lengths: named types are out of
+// scope by design.
+type UserID int32
+
+func asID(n int) UserID {
+	return UserID(n)
+}
+
+// widening is no hazard.
+func widen(n int32) int64 {
+	return int64(n)
+}

@@ -1,0 +1,88 @@
+// Package fixture exercises maporder: order-dependent map-range bodies, the
+// collect-then-sort idiom, commutative negatives, and the waiver directive.
+//
+// unsortedKeys versus collectThenSort is the acceptance demonstration that
+// un-sorting any one flagged map-range makes dosn-vet exit non-zero: the two
+// functions differ only by the sort call after the loop.
+package fixture
+
+import (
+	"sort"
+	"strings"
+)
+
+func unsortedKeys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append to out inside a map range`
+	}
+	return out
+}
+
+func collectThenSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func collectThenSortSlice(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+func waivedAccum(m map[int]float64) float64 {
+	var sum float64
+	//dosn:orderinvariant values are exact small integers; their FP sum commutes bit-exactly
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func emit(w *strings.Builder, m map[string]int) {
+	for k := range m {
+		w.WriteString(k) // want `WriteString call inside a map range`
+	}
+}
+
+// count is commutative — integer increments into a slice carry no order.
+func count(m map[int]int, load []int) {
+	for _, v := range m {
+		load[v]++
+	}
+}
+
+// loopLocal appends only into per-iteration state; nothing leaks order.
+func loopLocal(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// mapToMap writes are commutative: each key is written independently.
+func mapToMap(src map[int]int) map[int]int {
+	dst := make(map[int]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

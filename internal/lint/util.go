@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// typeOfExpr resolves an expression's type, falling back to the used
+// object's type for bare identifiers (which the Types map omits).
+func typeOfExpr(pass *Pass, expr ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// constIntValue extracts a constant expression's integer value.
+func constIntValue(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// pathBase returns the last element of an import path ("dosn/internal/core"
+// → "core").
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// importedPkgPath resolves a selector like rand.Intn to the import path of
+// the package the qualifier names ("math/rand"), or "" when the selector is
+// not a package-qualified reference.
+func importedPkgPath(pass *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// rootIdent walks to the base identifier of an lvalue-ish expression:
+// scratch.actMinutes → scratch, perm[i] → perm, (*t).rows → t.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether any identifier inside expr resolves to obj.
+func mentionsObject(pass *Pass, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// identsOf collects the distinct objects of all identifiers inside expr.
+func identsOf(pass *Pass, expr ast.Node) []types.Object {
+	var objs []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && !seen[obj] {
+				seen[obj] = true
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// inspectWithStack walks the tree like ast.Inspect while maintaining the
+// path of ancestor nodes (outermost first, excluding n itself).
+func inspectWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// isBuiltin reports whether a call's callee is the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// calleeName returns the bare name of a call's callee: f(...) → "f",
+// pkg.F(...) / x.M(...) → "F"/"M"; "" when unnameable.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

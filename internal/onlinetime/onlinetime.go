@@ -150,6 +150,7 @@ func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Tab
 			offs = make([]int16, total)
 		}
 		for i := range offs {
+			//dosn:boundschecked sessionMinutes clamps sess to [1, DayMinutes=1440], fits int16
 			offs[i] = int16(rng.Intn(sess))
 		}
 
@@ -162,6 +163,7 @@ func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Tab
 					// The activity happens at a uniformly random point inside
 					// the session, so the session starts up to sess-1 minutes
 					// earlier.
+					//dosn:boundschecked j indexes acts, whose length is capped at trace.MaxActivities
 					start := d.MinuteOfDayAt(int(k)) - int(offs[base+int32(j)])
 					row.AddInterval(interval.Interval{Start: start, End: start + sess})
 				}
@@ -258,6 +260,7 @@ func (r RandomLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) 
 	lengths := make([]int32, n)
 	centers := make([]int32, n)
 	for u := 0; u < n; u++ {
+		//dosn:boundschecked bounds() clamps lo,hi to [1,24], so the draw is < 25*60
 		lengths[u] = int32(lo*60 + rng.Intn((hi-lo)*60+1))
 		centers[u] = drawCenter(d, rng, socialgraph.UserID(u))
 	}

@@ -58,6 +58,8 @@ func (t *Table) NumUsers() int { return len(t.rows) }
 // Bitmap returns the dense schedule row of user u as an O(1) view into the
 // arena, or nil when u is out of range. The view aliases the table; callers
 // on shared tables must treat it as read-only.
+//
+//dosn:hotpath
 func (t *Table) Bitmap(u socialgraph.UserID) *interval.Bitmap {
 	if u < 0 || int(u) >= len(t.rows) {
 		return nil

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 )
 
 // snapshot is the serialized form of a Store.
@@ -52,11 +53,7 @@ func (s *Store) wallsLocked() []NodeID {
 	for w := range s.walls {
 		out = append(out, w)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 

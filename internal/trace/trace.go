@@ -130,6 +130,8 @@ func (d *Dataset) UnixAt(i int) int64 { return d.atUnix[i] }
 
 // MinuteOfDayAt returns the minute-of-day of activity i without materializing
 // a time.Time.
+//
+//dosn:hotpath
 func (d *Dataset) MinuteOfDayAt(i int) int { return minuteOfDayUnix(d.atUnix[i]) }
 
 // Rows materializes the whole trace as activity rows in column order. It is
@@ -214,6 +216,11 @@ func (d *Dataset) sortByTimestamp() {
 	if slices.IsSorted(d.atUnix) {
 		return
 	}
+	// Reindex checks before calling, but the permutation is int32 and would
+	// wrap silently past MaxActivities — hold the invariant locally too.
+	if err := checkActivityCount(d.Name, len(d.atUnix)); err != nil {
+		panic(err)
+	}
 	perm := make([]int32, len(d.atUnix))
 	for i := range perm {
 		perm[i] = int32(i)
@@ -237,6 +244,12 @@ func (d *Dataset) sortByTimestamp() {
 // one fill pass, reusing the supplied backing arrays when large enough.
 // Out-of-range user IDs are skipped, matching the row-era index build.
 func buildCSR(col []socialgraph.UserID, n int, off, idx []int32) ([]int32, []int32) {
+	// The index entries are int32 positions into col; past MaxActivities they
+	// would wrap silently. Reindex guards the same bound, but buildCSR owns
+	// the conversion, so it owns the check.
+	if len(col) > MaxActivities {
+		panic(ErrTooManyActivities)
+	}
 	if cap(off) >= n+1 {
 		off = off[:n+1]
 		clear(off)
@@ -278,6 +291,8 @@ func (d *Dataset) NumUsers() int { return d.Graph.NumUsers() }
 // CreatedIdx returns the indexes (into the activity columns) of the
 // activities user u created, in timestamp order. The returned slice is a view
 // into the CSR index — no allocation — and must not be modified.
+//
+//dosn:hotpath
 func (d *Dataset) CreatedIdx(u socialgraph.UserID) []int32 {
 	return csrRow(d.createdOff, d.createdIdx, u)
 }
@@ -285,10 +300,13 @@ func (d *Dataset) CreatedIdx(u socialgraph.UserID) []int32 {
 // ReceivedIdx returns the indexes of the activities on user u's profile, in
 // timestamp order. The returned slice is a view into the CSR index — no
 // allocation — and must not be modified.
+//
+//dosn:hotpath
 func (d *Dataset) ReceivedIdx(u socialgraph.UserID) []int32 {
 	return csrRow(d.receivedOff, d.receivedIdx, u)
 }
 
+//dosn:hotpath
 func csrRow(off, idx []int32, u socialgraph.UserID) []int32 {
 	if off == nil || u < 0 || int(u) >= len(off)-1 {
 		return nil
@@ -299,6 +317,8 @@ func csrRow(off, idx []int32, u socialgraph.UserID) []int32 {
 // ForEachReceived calls fn for every activity on user u's profile in
 // timestamp order, passing the activity's column index and its row view. It
 // allocates nothing.
+//
+//dosn:hotpath
 func (d *Dataset) ForEachReceived(u socialgraph.UserID, fn func(i int, a Activity)) {
 	for _, k := range d.ReceivedIdx(u) {
 		fn(int(k), d.ActivityAt(int(k)))

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 
 	"dosn/internal/store"
@@ -62,12 +63,8 @@ func EncodeDigest(c vclock.Clock) []DigestEntry {
 	for author, seq := range c {
 		out = append(out, DigestEntry{Author: author, Seq: seq})
 	}
-	// Insertion order of map iteration is random; sort for determinism.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].Author < out[j-1].Author; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// Map iteration order is random; sort for determinism.
+	slices.SortFunc(out, func(a, b DigestEntry) int { return int(a.Author) - int(b.Author) })
 	return out
 }
 
