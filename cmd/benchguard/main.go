@@ -25,6 +25,10 @@
 // pinned-entry check holds whatever numbers are committed to the ratio. The
 // files hold the map[benchmark]map[metric]float64 layout the repository's
 // recordMatrixBench helper writes.
+//
+// -json FILE (or '-') additionally writes a machine-readable summary — one
+// record per gate with baseline, current, ratio, limit, and pass/fail — so CI
+// can attach the gate table as an artifact next to the human log.
 package main
 
 import (
@@ -59,6 +63,7 @@ func run() error {
 		bench        = flag.String("bench", "MatrixSmall", "benchmark entry to compare (ignored when -check is given)")
 		metric       = flag.String("metric", "ns_per_cell", "metric within the entry (ignored when -check is given)")
 		maxRatio     = flag.Float64("max-ratio", 2, "fail when current/baseline exceeds this (default ratio for -check)")
+		jsonOut      = flag.String("json", "", "write the per-gate summary as JSON to this file ('-' = stdout)")
 	)
 	flag.Var(&checks, "check", "gate spec bench.metric[:max-ratio]; repeatable, evaluates all gates in one run")
 	flag.Parse()
@@ -73,28 +78,73 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if len(checks) == 0 {
-		msg, err := compare(base, cur, *bench, *metric, *maxRatio)
-		if msg != "" {
-			fmt.Println(msg)
-		}
-		return err
+	specs := []string(checks)
+	if len(specs) == 0 {
+		specs = []string{fmt.Sprintf("%s.%s:%g", *bench, *metric, *maxRatio)}
 	}
 	var failures []error
-	for _, spec := range checks {
+	summary := Summary{Checks: make([]CheckResult, 0, len(specs)), Pass: true}
+	for _, spec := range specs {
 		b, m, baseBench, r, err := parseCheck(spec, *maxRatio)
 		if err != nil {
 			return err
 		}
-		msg, err := compareEntries(base, cur, baseBench, b, m, r)
-		if msg != "" {
-			fmt.Println(msg)
+		res, err := evalEntries(base, cur, baseBench, b, m, r)
+		res.Check = spec
+		summary.Checks = append(summary.Checks, res)
+		if res.Verdict != "" {
+			fmt.Println(res.Verdict)
 		}
 		if err != nil {
+			summary.Pass = false
 			failures = append(failures, err)
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeSummary(*jsonOut, summary); err != nil {
+			return err
+		}
+	}
 	return errors.Join(failures...)
+}
+
+// Summary is the machine-readable result of one benchguard invocation,
+// written by -json so CI can attach the gate table as an artifact.
+type Summary struct {
+	Checks []CheckResult `json:"checks"`
+	Pass   bool          `json:"pass"`
+}
+
+// CheckResult is one gate's outcome. Baseline/Current/Ratio are zero when the
+// gate failed before forming a ratio (missing entry or metric); Error then
+// carries the reason.
+type CheckResult struct {
+	Check    string  `json:"check"`
+	Bench    string  `json:"bench"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline,omitempty"`
+	Current  float64 `json:"current,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	Limit    float64 `json:"limit"`
+	Pass     bool    `json:"pass"`
+	Verdict  string  `json:"verdict,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// writeSummary writes the JSON summary to path, or stdout for "-".
+func writeSummary(path string, s Summary) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 // parseCheck splits one -check spec "bench.metric[@baseline-bench][:max-ratio]".
@@ -169,8 +219,26 @@ func compare(base, cur map[string]map[string]float64, bench, metric string, maxR
 // baseline[baseBench][metric]. It returns a human-readable verdict and a
 // non-nil error on regression or missing data.
 func compareEntries(base, cur map[string]map[string]float64, baseBench, bench, metric string, maxRatio float64) (string, error) {
+	res, err := evalEntries(base, cur, baseBench, bench, metric, maxRatio)
+	return res.Verdict, err
+}
+
+// evalEntries is compareEntries with a structured result: one CheckResult for
+// the -json summary, plus the non-nil error on regression or missing data.
+// The result is populated as far as evaluation got — a gate that failed
+// before forming a ratio carries only the names, limit, and Error.
+func evalEntries(base, cur map[string]map[string]float64, baseBench, bench, metric string, maxRatio float64) (CheckResult, error) {
+	label := bench
+	if baseBench != "" && baseBench != bench {
+		label = bench + "@" + baseBench
+	}
+	res := CheckResult{Bench: label, Metric: metric, Limit: maxRatio}
+	fail := func(err error) (CheckResult, error) {
+		res.Error = err.Error()
+		return res, err
+	}
 	if maxRatio <= 0 {
-		return "", fmt.Errorf("max-ratio must be positive, got %v", maxRatio)
+		return fail(fmt.Errorf("max-ratio must be positive, got %v", maxRatio))
 	}
 	// A benchmark absent from BOTH files is a misspelled -check spec, not a
 	// stale baseline: saying "run the benchmark and commit the baseline"
@@ -178,37 +246,34 @@ func compareEntries(base, cur map[string]map[string]float64, baseBench, bench, m
 	baseEntry, ok := base[baseBench]
 	if !ok {
 		if _, inCur := cur[baseBench]; !inCur {
-			return "", fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", baseBench, strings.Join(knownBenches(base, cur), ", "))
+			return fail(fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", baseBench, strings.Join(knownBenches(base, cur), ", ")))
 		}
-		return "", fmt.Errorf("baseline has no %s entry — run the benchmark and commit the baseline first", baseBench)
+		return fail(fmt.Errorf("baseline has no %s entry — run the benchmark and commit the baseline first", baseBench))
 	}
 	curEntry, ok := cur[bench]
 	if !ok {
 		if _, inBase := base[bench]; !inBase {
-			return "", fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", bench, strings.Join(knownBenches(base, cur), ", "))
+			return fail(fmt.Errorf("unknown benchmark %q: no such entry in baseline or current file — check the -check spec for a typo (known: %s)", bench, strings.Join(knownBenches(base, cur), ", ")))
 		}
-		return "", fmt.Errorf("current run has no %s entry — did the benchmark run?", bench)
+		return fail(fmt.Errorf("current run has no %s entry — did the benchmark run?", bench))
 	}
 	bv, ok := baseEntry[metric]
 	if !ok {
-		return "", fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", baseBench, metric)
+		return fail(fmt.Errorf("baseline has no %s.%s — run the benchmark and commit the baseline first", baseBench, metric))
 	}
 	cv, ok := curEntry[metric]
 	if !ok {
-		return "", fmt.Errorf("current run has no %s.%s — did the benchmark run?", bench, metric)
+		return fail(fmt.Errorf("current run has no %s.%s — did the benchmark run?", bench, metric))
 	}
 	if bv <= 0 {
-		return "", fmt.Errorf("baseline %s.%s is %v; cannot form a ratio", baseBench, metric, bv)
+		return fail(fmt.Errorf("baseline %s.%s is %v; cannot form a ratio", baseBench, metric, bv))
 	}
-	ratio := cv / bv
-	label := bench
-	if baseBench != bench {
-		label = bench + "@" + baseBench
+	res.Baseline, res.Current, res.Ratio = bv, cv, cv/bv
+	res.Verdict = fmt.Sprintf("%s.%s: baseline %.0f, current %.0f, ratio %.2fx (limit %.2fx)",
+		label, metric, bv, cv, res.Ratio, maxRatio)
+	if res.Ratio > maxRatio {
+		return fail(fmt.Errorf("%s.%s regressed %.2fx (limit %.2fx)", label, metric, res.Ratio, maxRatio))
 	}
-	verdict := fmt.Sprintf("%s.%s: baseline %.0f, current %.0f, ratio %.2fx (limit %.2fx)",
-		label, metric, bv, cv, ratio, maxRatio)
-	if ratio > maxRatio {
-		return verdict, fmt.Errorf("%s.%s regressed %.2fx (limit %.2fx)", label, metric, ratio, maxRatio)
-	}
-	return verdict, nil
+	res.Pass = true
+	return res, nil
 }

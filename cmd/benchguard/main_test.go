@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -140,6 +141,84 @@ func TestUnknownBenchmark(t *testing.T) {
 	if _, err := compare(files, cur, "MatrixNew", "ns_per_cell", 2); err == nil ||
 		!strings.Contains(err.Error(), "commit the baseline") {
 		t.Errorf("stale baseline: err = %v, want commit-the-baseline hint", err)
+	}
+}
+
+// TestEvalEntriesStructured pins the -json record shape: a passing gate
+// carries ratio and pass=true; a regressed gate keeps its verdict (CI logs
+// still show the numbers) but pass=false with the reason in Error; a gate
+// that dies before forming a ratio reports only names, limit, and Error.
+func TestEvalEntriesStructured(t *testing.T) {
+	files := map[string]map[string]float64{
+		"MatrixSmall": {"ns_per_cell": 100},
+		"MatrixLarge": {"ns_per_cell": 400},
+	}
+	cur := map[string]map[string]float64{
+		"MatrixSmall": {"ns_per_cell": 150},
+		"MatrixLarge": {"ns_per_cell": 900},
+	}
+
+	res, err := evalEntries(files, cur, "MatrixSmall", "MatrixSmall", "ns_per_cell", 2)
+	if err != nil || !res.Pass {
+		t.Fatalf("healthy gate: err=%v res=%+v", err, res)
+	}
+	if res.Baseline != 100 || res.Current != 150 || res.Ratio != 1.5 || res.Limit != 2 {
+		t.Errorf("healthy gate numbers: %+v", res)
+	}
+	if res.Verdict == "" || res.Error != "" {
+		t.Errorf("healthy gate verdict/error: %+v", res)
+	}
+
+	res, err = evalEntries(files, cur, "MatrixLarge", "MatrixLarge", "ns_per_cell", 2)
+	if err == nil || res.Pass {
+		t.Fatalf("regressed gate must fail: err=%v res=%+v", err, res)
+	}
+	if res.Ratio != 2.25 || res.Verdict == "" || res.Error == "" {
+		t.Errorf("regressed gate must keep verdict and carry error: %+v", res)
+	}
+
+	res, err = evalEntries(files, cur, "MatrixSmall", "MatrixSmall", "allocs_per_op", 2)
+	if err == nil || res.Pass || res.Ratio != 0 || res.Error == "" {
+		t.Errorf("missing-metric gate: err=%v res=%+v", err, res)
+	}
+
+	// Cross-entry gates label the bench as bench@pin for the summary.
+	pinned := map[string]map[string]float64{
+		"MatrixLarge":       {"ns_per_cell": 300},
+		"MatrixLarge_prePR": {"ns_per_cell": 400},
+	}
+	res, err = evalEntries(pinned, pinned, "MatrixLarge_prePR", "MatrixLarge", "ns_per_cell", 0.8)
+	if err != nil || res.Bench != "MatrixLarge@MatrixLarge_prePR" {
+		t.Errorf("pinned gate label: err=%v res=%+v", err, res)
+	}
+}
+
+// TestSummaryJSONRoundTrip exercises the full -json path through run() the
+// way CI invokes it: two gates, one summary file, pass flag reflecting the
+// conjunction.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sum := Summary{
+		Checks: []CheckResult{
+			{Check: "MatrixSmall.ns_per_cell:2", Bench: "MatrixSmall", Metric: "ns_per_cell", Baseline: 100, Current: 150, Ratio: 1.5, Limit: 2, Pass: true, Verdict: "ok"},
+			{Check: "MatrixSmall.allocs_per_op:2", Bench: "MatrixSmall", Metric: "allocs_per_op", Limit: 2, Error: "missing"},
+		},
+		Pass: false,
+	}
+	path := filepath.Join(dir, "summary.json")
+	if err := writeSummary(path, sum); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, data)
+	}
+	if got.Pass || len(got.Checks) != 2 || got.Checks[0].Ratio != 1.5 || got.Checks[1].Error != "missing" {
+		t.Errorf("round trip = %+v", got)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dosn/internal/feed"
+	"dosn/internal/obs"
 	"dosn/internal/store"
 	"dosn/internal/wire"
 )
@@ -69,10 +70,19 @@ func run() error {
 		show      = flag.String("show", "", "wall ID to print at exit")
 		timeline  = flag.Int("timeline", 0, "print the n newest feed items across hosted walls at exit")
 		statePath = flag.String("state", "", "snapshot file: load at start (if present), save at exit")
+		debugAddr = flag.String("debug-addr", "", "serve the debug HTTP endpoint (pprof, expvar with wire counters) on this address while the node runs")
 	)
 	flag.Parse()
 	if *id < 0 {
 		return fmt.Errorf("-id is required")
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: http://%s/debug/vars (pprof under /debug/pprof/)\n", dbg.Addr())
 	}
 	nodeID, err := wallID(*id)
 	if err != nil {

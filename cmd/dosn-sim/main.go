@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"dosn"
+	"dosn/internal/obs"
+	"dosn/internal/obs/prof"
 )
 
 func main() {
@@ -57,8 +59,26 @@ func run() error {
 		maxDegree  = flag.Int("max-degree", 10, "replication degree sweep bound")
 		userDegree = flag.Int("user-degree", 10, "user degree of the analysis population")
 		seed       = flag.Int64("seed", 42, "random seed")
+		debugAddr  = flag.String("debug-addr", "", "serve the debug HTTP endpoint (pprof, expvar with obs counters) on this address for the duration of the run")
 	)
+	var pf prof.Flags
+	pf.Register(flag.CommandLine)
 	flag.Parse()
+
+	// Profiles and the debug endpoint cover the whole figure/experiment run.
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars (pprof under /debug/pprof/)\n", dbg.Addr())
+	}
 
 	fbUsers, twUsers, err := scaleUsers(*scale)
 	if err != nil {

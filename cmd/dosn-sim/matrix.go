@@ -6,14 +6,14 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"dosn"
 	"dosn/internal/harness"
+	"dosn/internal/obs"
+	"dosn/internal/obs/prof"
 )
 
 // runMatrix implements the `dosn-sim matrix` subcommand: one invocation runs
@@ -38,9 +38,13 @@ func runMatrix(args []string) error {
 		jsonOut    = fs.String("json", "", "write the run manifest as JSON to this file ('-' = stdout)")
 		csvOut     = fs.String("csv", "", "write per-(cell,policy,degree) rows as CSV to this file ('-' = stdout)")
 		quiet      = fs.Bool("q", false, "suppress per-cell progress on stderr")
-		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the matrix run to this file")
-		memProfile = fs.String("memprofile", "", "write a pprof allocation profile (after the run) to this file")
+		telemetry  = fs.String("telemetry", "", "write the execution telemetry report (per-cell phase breakdown, counters) as JSON to this file ('-' = stdout); never part of the manifest")
+		events     = fs.String("events", "", "stream execution lifecycle events as JSONL to this file")
+		progress   = fs.Bool("progress", false, "live single-line progress on stderr (cells done, current phase, ETA, heap); replaces per-cell lines")
+		debugAddr  = fs.String("debug-addr", "", "serve the debug HTTP endpoint (pprof, expvar with obs counters) on this address for the duration of the run")
 	)
+	var pf prof.Flags
+	pf.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: dosn-sim matrix [flags]")
 		fmt.Fprintln(fs.Output(), "runs the full dataset × model × mode experiment matrix in one invocation")
@@ -81,66 +85,73 @@ func runMatrix(args []string) error {
 	// Profiles cover exactly the harness run (not flag parsing or output
 	// serialization), so perf work on the matrix path starts from data
 	// rather than a guess: dosn-sim matrix -scale large -cpuprofile cpu.out.
-	// The CPU profile is stopped — and the heap profile captured — right
-	// after harness.Run returns, before the manifest is serialized; the
-	// deferred stopCPU only covers early-error exits.
-	stopCPU := func() {}
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			return fmt.Errorf("create %s: %w", *cpuProfile, err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return fmt.Errorf("start cpu profile: %w", err)
-		}
-		stopped := false
-		stopCPU = func() {
-			if stopped {
-				return
-			}
-			stopped = true
-			pprof.StopCPUProfile()
-			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuProfile)
-		}
-		defer stopCPU()
+	// stopProf runs right after harness.Run returns, before the manifest is
+	// serialized; the deferred call only covers early-error exits (it is
+	// idempotent).
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
 	}
-	writeHeapProfile := func() {
-		if *memProfile == "" {
-			return
-		}
-		f, err := os.Create(*memProfile)
+	defer stopProf()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			return
+			return err
 		}
-		defer f.Close()
-		runtime.GC() // settle live heap so alloc_space is complete
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
-			return
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars (pprof under /debug/pprof/)\n", dbg.Addr())
+	}
+
+	// Telemetry is a side artifact: the collector observes execution (phase
+	// timings, worker utilization, heap) and never touches the manifest,
+	// which stays byte-identical with or without it.
+	var collector *obs.Collector
+	if *telemetry != "" || *events != "" || *progress {
+		collector = obs.NewCollector()
+	}
+	var eventsFile *os.File
+	if *events != "" {
+		eventsFile, err = os.Create(*events)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *events, err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *memProfile)
+		defer eventsFile.Close()
+		collector.AttachEvents(eventsFile)
 	}
 
 	start := time.Now()
 	if *shardSize < 0 {
 		return fmt.Errorf("-shard-size must be >= 0, got %d", *shardSize)
 	}
-	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize}
-	if !*quiet {
+	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize, Telemetry: collector}
+	switch {
+	case *progress:
+		// The live line owns stderr; per-cell lines would tear it.
+		live := obs.NewProgress(os.Stderr, 0)
+		collector.AttachProgress(live)
+		defer live.Stop()
+	case !*quiet:
 		opts.Progress = func(done, total int, cell harness.CellSpec, elapsed time.Duration) {
 			fmt.Fprintf(os.Stderr, "  [%*d/%d] %-42s %8v\n", digits(total), done, total, cell.Key(), elapsed.Round(time.Millisecond))
 		}
 	}
 	manifest, err := harness.Run(spec, opts)
-	stopCPU()
-	writeHeapProfile()
+	stopProf()
 	if err != nil {
 		return err
 	}
-	if !*quiet {
+	if collector != nil {
+		// Resolve the effective knobs the way the harness does, so the
+		// report is self-describing even when the flags were left at 0.
+		rep := collector.Report("dosn-sim matrix -scale "+*scale, *workers, *shardSize)
+		if *telemetry != "" {
+			if err := writeSink(*telemetry, rep.WriteJSON); err != nil {
+				return err
+			}
+		}
+	}
+	if !*quiet && !*progress {
 		fmt.Fprintf(os.Stderr, "matrix: done in %v (%d schedule computations reused)\n",
 			time.Since(start).Round(time.Millisecond), manifest.ScheduleCacheHits)
 	}

@@ -22,11 +22,22 @@ import (
 
 	"dosn/internal/interval"
 	"dosn/internal/metrics"
+	"dosn/internal/obs"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/socialgraph"
 	"dosn/internal/stats"
 	"dosn/internal/trace"
+)
+
+// Execution-only telemetry. Counters are single atomic adds at chunk or
+// seed granularity — cheap enough to stay on unconditionally — and their
+// values are never read back on this side of the obs boundary, so results
+// stay a pure function of (spec, seed).
+var (
+	obsChunksSwept = obs.C("core.sweep_chunks")
+	obsUsersSwept  = obs.C("core.sweep_users")
+	obsRNGSeeded   = obs.C("core.rng_seeded")
 )
 
 // Metric identifies one of the efficiency metrics a sweep records.
@@ -99,6 +110,12 @@ type Config struct {
 	// the result bits are identical for any ShardUsers value, exactly as
 	// for any Workers value.
 	ShardUsers int
+	// Obs, when non-nil, receives execution telemetry for this sweep:
+	// fine-grained phase accumulation (sweep-shards vs reduce), per-chunk
+	// counts, and per-worker busy time. Execution-only, exactly like
+	// Workers and ShardUsers: a nil or non-nil Obs never changes the
+	// result bits.
+	Obs *obs.CellObs
 	// Schedules optionally supplies precomputed per-repetition schedule
 	// tables (Schedules[rep], user-indexed arena rows). When set for a
 	// repetition, the engine uses it instead of calling Model.BuildTable,
@@ -238,7 +255,14 @@ func Run(cfg Config) (*Result, error) {
 		if rep < len(cfg.Schedules) && cfg.Schedules[rep] != nil {
 			table = cfg.Schedules[rep]
 		} else {
+			var sw obs.Watch
+			if cfg.Obs != nil {
+				sw = obs.StartWatch()
+			}
 			table = cfg.Model.BuildTable(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))), cfg.Workers)
+			if cfg.Obs != nil {
+				cfg.Obs.AddPhaseNS("schedule-build", sw.ElapsedNS())
+			}
 		}
 		grid := sweepOnce(cfg, table, rep)
 		mergeGrids(res.Cells, grid)
@@ -321,15 +345,26 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 			batch:   chunkGrids[:ce-cs],
 		}
 		b.next.Store(int64(cs) - 1)
+		var sw obs.Watch
+		if cfg.Obs != nil {
+			sw = obs.StartWatch()
+		}
 		for w := 0; w < cfg.Workers; w++ {
 			b.wg.Add(1)
-			go b.work()
+			go b.run()
 		}
 		b.wg.Wait()
+		if cfg.Obs != nil {
+			cfg.Obs.AddPhaseNS("sweep-shards", sw.ElapsedNS())
+			sw = obs.StartWatch()
+		}
 
 		for i, g := range b.batch {
 			mergeGrids(grid, g)
 			b.batch[i] = nil // grid is collectible as soon as it is merged
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.AddPhaseNS("reduce", sw.ElapsedNS())
 		}
 	}
 	return grid
@@ -350,13 +385,30 @@ type sweepBatch struct {
 	wg      sync.WaitGroup
 }
 
+// run wraps one worker's chunk loop with busy-time accounting: when the
+// sweep carries a telemetry sink, each worker reports how long it spent in
+// its loop, which is what exposes shard imbalance (sum vs max busy time).
+// The watch reading goes only into obs — results never see it.
+func (b *sweepBatch) run() {
+	defer b.wg.Done()
+	var busy obs.Watch
+	if b.cfg.Obs != nil {
+		busy = obs.StartWatch()
+	}
+	b.work()
+	if b.cfg.Obs != nil {
+		b.cfg.Obs.WorkerBusy(busy.ElapsedNS())
+	}
+}
+
 // work is one worker's loop: claim fixed index-ordered chunks and reduce
 // each chunk's users in order into that chunk's grid. Chunk claiming is the
-// only cross-worker coordination; everything else is owned state.
+// only cross-worker coordination; everything else is owned state. The
+// chunk counters are single atomic adds per 16-user chunk — allocation-free
+// and cheap enough to stay on unconditionally.
 //
 //dosn:hotpath
 func (b *sweepBatch) work() {
-	defer b.wg.Done()
 	var scratch sweepScratch
 	for {
 		ci := int(b.next.Add(1))
@@ -370,6 +422,9 @@ func (b *sweepBatch) work() {
 			sweepUser(b.cfg, b.sets, b.bitmaps, b.rep, u, g, &scratch)
 		}
 		b.batch[ci-b.cs] = g
+		obsChunksSwept.Inc()
+		obsUsersSwept.Add(int64(hi - lo))
+		b.cfg.Obs.AddChunks(1)
 	}
 }
 
@@ -443,6 +498,7 @@ func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep i
 		var rng *rand.Rand
 		if replica.TraitsOf(p).UsesRNG {
 			rng = rand.New(rand.NewSource(mix(cfg.Seed, int64(rep), int64(pi), int64(u))))
+			obsRNGSeeded.Inc()
 		}
 		seq := p.Select(in, rng)
 		// Pairwise node gaps for the whole selection, computed once; each

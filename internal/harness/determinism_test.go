@@ -2,7 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"io"
 	"testing"
+
+	"dosn/internal/obs"
 )
 
 // TestRunByteIdenticalAcrossWorkerCounts pins the harness's core guarantee:
@@ -72,6 +75,49 @@ func TestRunByteIdenticalAcrossShardSizes(t *testing.T) {
 	for _, opts := range variants {
 		if got := marshal(opts); !bytes.Equal(ref, got) {
 			t.Errorf("manifest bytes differ for %+v", opts)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbManifest pins the observability contract: a
+// run with the full telemetry stack active — collector, JSONL event stream,
+// live progress sink — produces a byte-identical manifest to a bare run, at
+// every worker/shard configuration. Telemetry is a side artifact; if an
+// instrumented code path ever feeds a measurement back into a result, this
+// is the test that catches it.
+func TestTelemetryDoesNotPerturbManifest(t *testing.T) {
+	spec := testSpec()
+	spec.Models = spec.Models[:1]
+	marshal := func(opts RunOptions) []byte {
+		t.Helper()
+		m, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", opts, err)
+		}
+		data, err := m.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	instrumented := func(opts RunOptions) RunOptions {
+		col := obs.NewCollector()
+		col.AttachEvents(io.Discard)
+		p := obs.NewProgress(io.Discard, 0)
+		t.Cleanup(p.Stop)
+		col.AttachProgress(p)
+		opts.Telemetry = col
+		return opts
+	}
+	configs := []RunOptions{
+		{Workers: 1, CoreWorkers: 1},
+		{Workers: 4, CoreWorkers: 2},
+		{Workers: 2, CoreWorkers: 2, ShardSize: 7},
+	}
+	for _, opts := range configs {
+		ref := marshal(opts)
+		if got := marshal(instrumented(opts)); !bytes.Equal(ref, got) {
+			t.Errorf("telemetry perturbed the manifest for %+v", opts)
 		}
 	}
 }

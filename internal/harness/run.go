@@ -9,10 +9,19 @@ import (
 
 	"dosn/internal/core"
 	"dosn/internal/dht"
+	"dosn/internal/obs"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/trace"
 	"math/rand"
+)
+
+// Execution-only telemetry; see internal/obs. Values flow out to the debug
+// endpoint and telemetry reports, never back into manifests.
+var (
+	obsCellsStarted = obs.C("harness.cells_started")
+	obsCellsDone    = obs.C("harness.cells_done")
+	obsSchedHits    = obs.C("harness.schedule_cache_hits")
 )
 
 // RunOptions tunes execution only; nothing here may change the results.
@@ -32,6 +41,11 @@ type RunOptions struct {
 	ShardSize int
 	// Progress, when set, is called after each finished cell.
 	Progress func(done, total int, cell CellSpec, elapsed time.Duration)
+	// Telemetry, when set, collects per-cell phase breakdowns, worker
+	// utilization, and lifecycle events (see internal/obs). Execution-only,
+	// like Workers: manifests are byte-identical with or without it
+	// (pinned by TestTelemetryDoesNotPerturbManifest).
+	Telemetry *obs.Collector
 }
 
 func (o RunOptions) fill(cells int) RunOptions {
@@ -140,14 +154,16 @@ func buildDataset(d DatasetSpec) (*trace.Dataset, error) {
 // run — cells sharing the coordinates reuse the arena read-only, with no
 // per-cell conversion. buildWorkers is the filling cell's core budget: the
 // parallel phase-2 row construction may use it freely because worker counts
-// never reach the table bytes.
-func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) ([]*onlinetime.Table, error) {
+// never reach the table bytes. hit reports whether the entry already
+// existed (telemetry: the cell reused another cell's schedules).
+func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) (tables []*onlinetime.Table, hit bool, err error) {
 	key := d.key() + "|" + m.key()
 	entry, existed := c.scheduleEntry(key)
 	if existed {
 		c.schedHits.Add(1)
+		obsSchedHits.Inc()
 	}
-	return entry.get(func() ([]*onlinetime.Table, error) {
+	tables, err = entry.get(func() ([]*onlinetime.Table, error) {
 		out := make([]*onlinetime.Table, spec.Repeats)
 		for rep := range out {
 			rng := rand.New(rand.NewSource(spec.scheduleSeed(d, m, rep)))
@@ -155,6 +171,7 @@ func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *t
 		}
 		return out, nil
 	})
+	return tables, existed, err
 }
 
 // Run executes every cell of the matrix and returns the assembled manifest.
@@ -180,6 +197,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 		policies[i] = p
 	}
 
+	opts.Telemetry.SetTotalCells(len(cells))
 	shared := newCaches()
 	results := make([]CellResult, len(cells))
 	errs := make([]error, len(cells))
@@ -190,7 +208,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
@@ -199,7 +217,11 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 				}
 				//dosn:wallclock elapsed feeds only the Progress callback; results never read it
 				start := time.Now()
-				results[i], errs[i] = runCell(spec, cells[i], policies, opts, shared)
+				obsCellsStarted.Inc()
+				co := opts.Telemetry.StartCell(cells[i].Key(), w)
+				results[i], errs[i] = runCell(spec, cells[i], policies, opts, shared, co)
+				co.Done()
+				obsCellsDone.Inc()
 				if opts.Progress != nil {
 					mu.Lock()
 					opts.Progress(int(done.Add(1)), len(cells), cells[i], time.Since(start))
@@ -208,7 +230,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 					done.Add(1)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i, err := range errs {
@@ -228,20 +250,27 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 // sweep the spec's policy list; DHT cells sweep their architecture's
 // placement over the dataset's shared ring. Only execution knobs are read
 // from opts (CoreWorkers, ShardSize); the cell result depends on (spec,
-// cell) alone.
-func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches) (CellResult, error) {
+// cell) alone. co (nil when telemetry is off) receives the per-phase
+// breakdown: synthesize → ring-build → schedule-build → sweep, with core
+// filling the finer sweep-shards/reduce split inside the sweep phase.
+func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches, co *obs.CellObs) (CellResult, error) {
+	phaseDone := co.Phase("synthesize")
 	ds, err := shared.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
 		return buildDataset(cell.Dataset)
 	})
+	phaseDone()
 	if err != nil {
 		return CellResult{}, err
 	}
 	if !cell.isFriend() {
+		phaseDone = co.Phase("ring-build")
 		ring, err := shared.ringFor(cell.Dataset, cell.RingBits, ds)
 		if err != nil {
+			phaseDone()
 			return CellResult{}, err
 		}
 		arch, err := dht.NewArchitecture(cell.Arch, ring, ds.Graph, nil)
+		phaseDone()
 		if err != nil {
 			return CellResult{}, err
 		}
@@ -251,11 +280,18 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts Run
 	if err != nil {
 		return CellResult{}, err
 	}
-	schedules, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model, opts.CoreWorkers)
+	phaseDone = co.Phase("schedule-build")
+	schedules, hit, err := shared.schedulesFor(spec, cell.Dataset, cell.Model, ds, model, opts.CoreWorkers)
+	phaseDone()
 	if err != nil {
 		return CellResult{}, err
 	}
+	if hit {
+		co.MarkScheduleCacheHit()
+	}
 	seed := spec.CellSeed(cell)
+	co.SetSweepWorkers(opts.CoreWorkers)
+	phaseDone = co.Phase("sweep")
 	res, err := core.Run(core.Config{
 		Dataset:    ds,
 		Model:      model,
@@ -268,7 +304,9 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts Run
 		Workers:    opts.CoreWorkers,
 		ShardUsers: opts.ShardSize,
 		Schedules:  schedules,
+		Obs:        co,
 	})
+	phaseDone()
 	if err != nil {
 		return CellResult{}, err
 	}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -24,6 +25,10 @@ socialgraph — flags:
   - rand.NewSource(x) where x does not visibly derive from a seed: some
     identifier in the argument must contain "seed" (case-insensitive), the
     repository's convention for plumbed Config/seed parameters.
+  - reads of internal/obs telemetry state (Value, Counters, Timers, Report,
+    ReadMem, ...): obs is execution-only, and its readings are wall-clock
+    derived — deterministic code may write into it (Inc, Add, AddPhaseNS)
+    but must never branch on what it measured.
 
 Methods on an explicit *rand.Rand are always fine.`,
 	Run: runDetRand,
@@ -35,6 +40,26 @@ var deterministicPkgs = map[string]bool{
 	"core": true, "harness": true, "trace": true, "onlinetime": true,
 	"replica": true, "dht": true, "interval": true, "metrics": true,
 	"stats": true, "socialgraph": true,
+}
+
+// executionOnlyPkgs names the packages (by path base) that are explicitly
+// execution-only: internal/obs and internal/obs/prof observe how a run
+// executes (wall clock, heap, profiles) and never feed results. They are
+// exempt from the deterministic contract by construction — and, dually,
+// deterministic packages may write into them (counter increments, span
+// durations) but must never read telemetry back, which is what the
+// obsReadbackFuncs check below enforces.
+var executionOnlyPkgs = map[string]bool{
+	"obs": true, "prof": true,
+}
+
+// obsReadbackFuncs are the internal/obs calls that read telemetry state
+// back out. Elapsed/ElapsedNS/Started are deliberately absent: a stopwatch
+// reading is how deterministic code *feeds* a duration into an obs sink
+// (core.Run → AddPhaseNS), and the value never influences results.
+var obsReadbackFuncs = map[string]bool{
+	"Value": true, "Counters": true, "Gauges": true, "Timers": true,
+	"CounterNames": true, "Stat": true, "Report": true, "ReadMem": true,
 }
 
 // globalRandFuncs are the math/rand package-level functions backed by the
@@ -82,10 +107,30 @@ func runDetRand(pass *Pass) error {
 					pass.Reportf(call.Pos(), "rand.NewSource argument does not derive from a seed: plumb a Config/seed parameter (an identifier containing \"seed\") instead of %s", exprText(call.Args[0]))
 				}
 			}
+			if fn := obsReadback(pass, sel); fn != "" {
+				pass.Reportf(call.Pos(), "obs.%s reads execution telemetry (wall-clock derived) inside deterministic package %s: write-only instrumentation is fine, reading it back is not", fn, pass.Pkg.Name())
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// obsReadback returns the called function's name when sel resolves to a
+// telemetry-reading function or method of an execution-only package
+// (internal/obs, internal/obs/prof), "" otherwise. Resolution goes through
+// the type checker, so both package functions (obs.ReadMem) and methods on
+// obs types (counter.Value, collector.Report) are caught regardless of how
+// the value reached the deterministic package.
+func obsReadback(pass *Pass, sel *ast.SelectorExpr) string {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if !executionOnlyPkgs[pathBase(fn.Pkg().Path())] || !obsReadbackFuncs[fn.Name()] {
+		return ""
+	}
+	return fn.Name()
 }
 
 // mentionsSeed reports whether any identifier in expr contains "seed",

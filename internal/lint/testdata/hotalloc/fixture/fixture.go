@@ -3,7 +3,10 @@
 // append, and the unannotated negative.
 package fixture
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 type scratch struct{ buf []int }
 
@@ -79,4 +82,25 @@ func coldPath(v int) ([]int, string) {
 	var out []int
 	out = append(out, v)
 	return out, fmt.Sprintf("%d", v)
+}
+
+// counter models an internal/obs.Counter: a named atomic. Incrementing one
+// from a hot path is the execution-telemetry pattern — method calls on an
+// atomic neither box nor allocate, so hot sweep loops may count chunks and
+// users without tripping hotalloc.
+type counter struct {
+	name string
+	v    atomic.Int64
+}
+
+func (c *counter) inc()        { c.v.Add(1) }
+func (c *counter) add(n int64) { c.v.Add(n) }
+
+var chunksSwept counter
+
+//dosn:hotpath
+func countsChunks(s *scratch, lo, hi int) {
+	chunksSwept.inc()
+	chunksSwept.add(int64(hi - lo))
+	s.buf = append(s.buf, hi-lo)
 }

@@ -1,0 +1,175 @@
+// Package prof bundles the Go profiling switches every long-running
+// dosn-sim subcommand shares: CPU and heap pprof profiles, mutex and block
+// contention profiles, and a runtime/trace execution trace. It replaces the
+// per-subcommand flag plumbing that used to live in `dosn-sim matrix` alone.
+//
+// Usage:
+//
+//	var pf prof.Flags
+//	pf.Register(fs)
+//	// after fs.Parse:
+//	stop, err := pf.Start()
+//	if err != nil { return err }
+//	defer stop()
+//	... the measured work ...
+//	stop() // idempotent: call eagerly so profiles cover exactly the work
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"sync"
+)
+
+// Flags holds the output paths of the profiling artifacts; empty means off.
+type Flags struct {
+	CPU   string
+	Mem   string
+	Mutex string
+	Block string
+	Trace string
+}
+
+// Register installs the profiling flags on fs with the repository's
+// canonical names.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a pprof allocation profile (after the run) to this file")
+	fs.StringVar(&f.Mutex, "mutexprofile", "", "write a pprof mutex-contention profile (after the run) to this file")
+	fs.StringVar(&f.Block, "blockprofile", "", "write a pprof blocking profile (after the run) to this file")
+	fs.StringVar(&f.Trace, "exectrace", "", "write a runtime/trace execution trace of the run to this file")
+}
+
+// Enabled reports whether any profile was requested.
+func (f *Flags) Enabled() bool {
+	return f.CPU != "" || f.Mem != "" || f.Mutex != "" || f.Block != "" || f.Trace != ""
+}
+
+// Start begins every requested profile and returns the stop function that
+// finalizes them all. Call stop eagerly right after the measured work so
+// the profiles cover exactly that work (not output serialization), and
+// defer it too for early-error exits — it is idempotent. Sampled profiles
+// (CPU, exec trace) start here; snapshot profiles (heap, mutex, block) are
+// captured inside stop, with the contention collectors armed here so they
+// observe the run.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	fail := func(err error) (func(), error) {
+		// Roll back whatever already started so a bad later flag does not
+		// leave the process profiling into a half-configured set.
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		return nil, err
+	}
+
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return fail(fmt.Errorf("cpuprofile: %w", err))
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("exectrace: %w", err))
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			return fail(fmt.Errorf("exectrace: %w", err))
+		}
+	}
+	if f.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if f.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+
+	var once sync.Once
+	flags := *f // stop captures the paths by value; later mutation is harmless
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				closeAndReport(cpuFile, flags.CPU)
+			}
+			if traceFile != nil {
+				trace.Stop()
+				closeAndReport(traceFile, flags.Trace)
+			}
+			if flags.Mem != "" {
+				writeHeapProfile(flags.Mem)
+			}
+			if flags.Mutex != "" {
+				writeLookupProfile("mutex", flags.Mutex)
+				runtime.SetMutexProfileFraction(0)
+			}
+			if flags.Block != "" {
+				writeLookupProfile("block", flags.Block)
+				runtime.SetBlockProfileRate(0)
+			}
+		})
+	}, nil
+}
+
+// writeHeapProfile snapshots the allocator into path. Errors are reported,
+// not returned: by this point the run's real output matters more than a
+// diagnostics file.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // settle live heap so alloc_space is complete
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// writeLookupProfile dumps a named runtime profile ("mutex", "block").
+func writeLookupProfile(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: no such profile\n", name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func closeAndReport(f *os.File, path string) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "close %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

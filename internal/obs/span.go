@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TimerStat is the aggregate of one timer: how many spans ended and their
+// total duration.
+type TimerStat struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Timer accumulates span durations under a name. Spans may nest freely —
+// a span on timer A wholly inside a span on timer B contributes to both —
+// and concurrent spans on the same timer accumulate atomically.
+type Timer struct {
+	name  string
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Begin starts a span on t. End the returned span to record it.
+func (t *Timer) Begin() Span { return Span{t: t, watch: StartWatch()} }
+
+// Name returns the timer's registered name.
+func (t *Timer) Name() string { return t.name }
+
+// Stat snapshots the timer's aggregate. Execution-only; see Counter.Value.
+func (t *Timer) Stat() TimerStat {
+	return TimerStat{Count: t.count.Load(), TotalMS: float64(t.ns.Load()) / 1e6}
+}
+
+// Span is one in-flight timed region. A span is a value: passing it around
+// or deferring its End allocates nothing.
+type Span struct {
+	t     *Timer
+	watch Watch
+}
+
+// End records the span's duration into its timer and returns it. Ending a
+// zero Span is a no-op returning 0, so instrumentation can hold spans in
+// optionally-initialized fields.
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := s.watch.Elapsed()
+	s.t.count.Add(1)
+	s.t.ns.Add(int64(d))
+	return d
+}
+
+// Watch is a monotonic stopwatch. It exists so deterministic packages never
+// touch the wall clock directly: time.Now lives here, in the execution-only
+// obs package, and callers only ever feed the elapsed duration back into
+// obs sinks. The zero Watch reads as zero elapsed.
+type Watch struct {
+	start time.Time
+}
+
+// StartWatch starts a stopwatch at the current monotonic clock reading.
+func StartWatch() Watch { return Watch{start: time.Now()} }
+
+// Elapsed returns the time since StartWatch (0 for a zero Watch). The
+// monotonic clock reading embedded in the start time makes this immune to
+// wall-clock adjustments.
+func (w Watch) Elapsed() time.Duration {
+	if w.start.IsZero() {
+		return 0
+	}
+	return time.Since(w.start)
+}
+
+// ElapsedNS is Elapsed in integer nanoseconds, for hot paths that hand the
+// reading straight to an atomic accumulator.
+func (w Watch) ElapsedNS() int64 { return int64(w.Elapsed()) }
+
+// Started reports whether the watch was started (false for the zero value).
+func (w Watch) Started() bool { return !w.start.IsZero() }

@@ -40,9 +40,27 @@ import (
 	"time"
 
 	"dosn/internal/interval"
+	"dosn/internal/obs"
 	"dosn/internal/socialgraph"
 	"dosn/internal/trace"
 )
+
+// Execution-only telemetry; see internal/obs. Table builds are timed and
+// counted — the readings flow out to reports and the debug endpoint, never
+// back into schedules.
+var (
+	obsTablesBuilt = obs.C("onlinetime.tables_built")
+	obsRowsBuilt   = obs.C("onlinetime.rows_built")
+	obsBuildTimer  = obs.T("onlinetime.build_table")
+)
+
+// recordBuild finalizes one BuildTable's telemetry: the span's duration and
+// the row volume it produced.
+func recordBuild(sp obs.Span, users int) {
+	sp.End()
+	obsTablesBuilt.Inc()
+	obsRowsBuilt.Add(int64(users))
+}
 
 // Model computes per-user online-time schedules from an activity trace.
 // Implementations must be deterministic given the same rng state: BuildTable
@@ -121,6 +139,7 @@ const buildShardUsers = 1 << 16
 // shard (buildShardUsers) with the draw column reused, bounding peak memory
 // by one shard's activities.
 func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
+	sp := obsBuildTimer.Begin()
 	sess := s.sessionMinutes()
 	n := d.NumUsers()
 	t := NewTable(n)
@@ -170,6 +189,7 @@ func (s Sporadic) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Tab
 			}
 		})
 	}
+	recordBuild(sp, n)
 	return t
 }
 
@@ -203,6 +223,7 @@ func (f FixedLength) windowMinutes() int { return min(max(f.Hours, 1), 24) * 60 
 // exactly those centers, phase 2 computes the activity-derived centers (the
 // trigonometric circular mean, the expensive part) in parallel.
 func (f FixedLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
+	sp := obsBuildTimer.Begin()
 	length := f.windowMinutes()
 	n := d.NumUsers()
 	t := NewTable(n)
@@ -212,6 +233,7 @@ func (f FixedLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *
 			t.rows[u].AddInterval(windowCentered(resolveCenter(d, centers, u), length))
 		}
 	})
+	recordBuild(sp, n)
 	return t
 }
 
@@ -254,6 +276,7 @@ func (r RandomLength) bounds() (lo, hi int) {
 // and — for users with no activities — the random center, in that order
 // (the historical draw order).
 func (r RandomLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) *Table {
+	sp := obsBuildTimer.Begin()
 	lo, hi := r.bounds()
 	n := d.NumUsers()
 	t := NewTable(n)
@@ -269,6 +292,7 @@ func (r RandomLength) BuildTable(d *trace.Dataset, rng *rand.Rand, workers int) 
 			t.rows[u].AddInterval(windowCentered(resolveCenter(d, centers, u), int(lengths[u])))
 		}
 	})
+	recordBuild(sp, n)
 	return t
 }
 

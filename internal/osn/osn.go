@@ -23,9 +23,23 @@ import (
 	"dosn/internal/feed"
 	"dosn/internal/interval"
 	"dosn/internal/metrics"
+	"dosn/internal/obs"
 	"dosn/internal/socialgraph"
 	"dosn/internal/stats"
 	"dosn/internal/store"
+)
+
+// Execution-only telemetry; see internal/obs. These are the process-wide
+// live counterparts of the per-run Result fields, published on the debug
+// endpoint so a long protocol run (or a future networked cluster) can be
+// watched while it executes. They never feed back into Result.
+var (
+	obsPostsCreated     = obs.C("osn.posts_created")
+	obsPostsTransferred = obs.C("osn.posts_transferred")
+	obsExchanges        = obs.C("osn.exchanges")
+	obsReadsTotal       = obs.C("osn.reads_total")
+	obsReadsServed      = obs.C("osn.reads_served")
+	obsSessions         = obs.C("osn.sessions")
 )
 
 // NodeID identifies a node; it matches socialgraph.UserID.
@@ -446,6 +460,7 @@ func (n *Network) setOnline(nd *node, online bool) {
 	if !online {
 		return
 	}
+	obsSessions.Inc()
 	n.flushOutbox(nd)
 	for _, pid := range nd.peers {
 		peer := n.nodes[pid]
@@ -459,6 +474,7 @@ func (n *Network) setOnline(nd *node, online bool) {
 // (if it hosts the wall), hands it to an online group member, or queues it
 // in the outbox until contact.
 func (n *Network) createPost(p PostEvent) {
+	obsPostsCreated.Inc()
 	creator := n.nodes[p.Creator]
 	group := n.groups[p.Wall]
 
@@ -521,6 +537,7 @@ func (n *Network) flushOutbox(nd *node) {
 		}
 		if ok, err := target.store.Apply(post); err == nil && ok {
 			n.res.PostsTransferred++
+			obsPostsTransferred.Inc()
 			n.recordArrival(target.id, post)
 			n.markDirty(target)
 		}
@@ -591,6 +608,7 @@ func (n *Network) exchange(a, b *node) {
 		return
 	}
 	n.res.Exchanges++
+	obsExchanges.Inc()
 	n.syncDirected(a, b)
 	n.syncDirected(b, a)
 }
@@ -612,6 +630,7 @@ func (n *Network) syncDirected(src, dst *node) {
 		for _, p := range missing {
 			if ok, err := dst.store.Apply(p); err == nil && ok {
 				n.res.PostsTransferred++
+				obsPostsTransferred.Inc()
 				n.recordArrival(dst.id, p)
 				got = true
 			}
@@ -629,13 +648,16 @@ func (n *Network) syncDirected(src, dst *node) {
 // classic mode this short-circuit answers identically to the group scan.
 func (n *Network) serveRead(r ReadEvent) {
 	n.res.ReadsTotal++
+	obsReadsTotal.Inc()
 	if nd, ok := n.nodes[r.Reader]; ok && nd.online && nd.store.Hosts(store.NodeID(r.Wall)) {
 		n.res.ReadsServed++
+		obsReadsServed.Inc()
 		return
 	}
 	target, hops := n.resolveTarget(r.Reader, r.Wall)
 	if target != nil {
 		n.res.ReadsServed++
+		obsReadsServed.Inc()
 		if n.cfg.Router != nil {
 			n.res.LookupHops.Add(float64(hops))
 		}

@@ -8,7 +8,16 @@ import (
 	"slices"
 	"sort"
 
+	"dosn/internal/obs"
 	"dosn/internal/socialgraph"
+)
+
+// Execution-only telemetry; see internal/obs. Synthesis is timed, never
+// time-dependent: the timer reading flows out to reports only.
+var (
+	obsDatasets   = obs.C("trace.datasets_synthesized")
+	obsActivities = obs.C("trace.activities_generated")
+	obsSynthTimer = obs.T("trace.synthesize")
 )
 
 // Paper-reported sizes of the filtered traces; used by the "paper" scale.
@@ -138,6 +147,8 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sp := obsSynthTimer.Begin()
+	defer sp.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	degrees := lognormalInts(rng, cfg.Users, cfg.MeanDegree, cfg.SigmaDegree, 1, cfg.Users-1)
@@ -223,6 +234,8 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	}
 	d.setColumns(creator, receiver, atUnix)
 	d.Reindex()
+	obsDatasets.Inc()
+	obsActivities.Add(int64(total))
 	return d, nil
 }
 

@@ -7,7 +7,6 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -135,19 +134,18 @@ func (s *Server) Close() error {
 
 // serve handles one session.
 func (s *Server) serve(conn net.Conn) {
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	dec, enc := newCodec(conn)
 
 	var hello Message
-	if err := dec.Decode(&hello); err != nil || hello.Type != TypeHello {
-		_ = enc.Encode(Message{Type: TypeError, Msg: "expected hello"})
+	if err := recv(dec, &hello); err != nil || hello.Type != TypeHello {
+		_ = send(enc, Message{Type: TypeError, Msg: "expected hello"})
 		return
 	}
-	_ = enc.Encode(Message{Type: TypeHello, From: s.st.Node()})
+	_ = send(enc, Message{Type: TypeHello, From: s.st.Node()})
 
 	for {
 		var m Message
-		if err := dec.Decode(&m); err != nil {
+		if err := recv(dec, &m); err != nil {
 			return // disconnect
 		}
 		switch m.Type {
@@ -158,7 +156,7 @@ func (s *Server) serve(conn net.Conn) {
 		case TypePush:
 			s.handlePush(m)
 		default:
-			_ = enc.Encode(Message{Type: TypeError, Msg: fmt.Sprintf("unexpected %q", m.Type)})
+			_ = send(enc, Message{Type: TypeError, Msg: fmt.Sprintf("unexpected %q", m.Type)})
 			return
 		}
 	}
@@ -166,18 +164,18 @@ func (s *Server) serve(conn net.Conn) {
 
 func (s *Server) handleSync(enc *json.Encoder, m Message) {
 	if !s.st.Hosts(m.Wall) {
-		_ = enc.Encode(Message{Type: TypeError, Wall: m.Wall, Msg: "wall not hosted"})
+		_ = send(enc, Message{Type: TypeError, Wall: m.Wall, Msg: "wall not hosted"})
 		return
 	}
 	clientDigest := DecodeDigest(m.Digest)
 	missing, err := s.st.MissingFrom(m.Wall, clientDigest)
 	if err != nil {
-		_ = enc.Encode(Message{Type: TypeError, Wall: m.Wall, Msg: err.Error()})
+		_ = send(enc, Message{Type: TypeError, Wall: m.Wall, Msg: err.Error()})
 		return
 	}
 	digest, _ := s.st.Digest(m.Wall)
 	fields, _ := s.st.Fields(m.Wall)
-	_ = enc.Encode(Message{
+	_ = send(enc, Message{
 		Type:   TypeDelta,
 		From:   s.st.Node(),
 		Wall:   m.Wall,
@@ -218,14 +216,13 @@ func Sync(addr string, st *store.Store) (SyncStats, error) {
 		return stats, fmt.Errorf("wire dial %s: %w", addr, err)
 	}
 	defer conn.Close()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	dec, enc := newCodec(conn)
 
-	if err := enc.Encode(Message{Type: TypeHello, From: st.Node()}); err != nil {
+	if err := send(enc, Message{Type: TypeHello, From: st.Node()}); err != nil {
 		return stats, fmt.Errorf("wire hello: %w", err)
 	}
 	var hello Message
-	if err := dec.Decode(&hello); err != nil {
+	if err := recv(dec, &hello); err != nil {
 		return stats, fmt.Errorf("wire hello reply: %w", err)
 	}
 	if hello.Type != TypeHello {
@@ -238,7 +235,7 @@ func Sync(addr string, st *store.Store) (SyncStats, error) {
 			continue
 		}
 		fields, _ := st.Fields(wall)
-		if err := enc.Encode(Message{
+		if err := send(enc, Message{
 			Type:   TypeSync,
 			From:   st.Node(),
 			Wall:   wall,
@@ -247,7 +244,7 @@ func Sync(addr string, st *store.Store) (SyncStats, error) {
 			return stats, fmt.Errorf("wire sync %d: %w", wall, err)
 		}
 		var delta Message
-		if err := dec.Decode(&delta); err != nil {
+		if err := recv(dec, &delta); err != nil {
 			return stats, fmt.Errorf("wire delta %d: %w", wall, err)
 		}
 		if delta.Type == TypeError {
@@ -270,7 +267,7 @@ func Sync(addr string, st *store.Store) (SyncStats, error) {
 		if err != nil {
 			continue
 		}
-		if err := enc.Encode(Message{
+		if err := send(enc, Message{
 			Type:   TypePush,
 			From:   st.Node(),
 			Wall:   wall,
@@ -282,11 +279,11 @@ func Sync(addr string, st *store.Store) (SyncStats, error) {
 		stats.Pushed += len(toPush)
 		stats.Walls++
 	}
-	_ = enc.Encode(Message{Type: TypeBye, From: st.Node()})
+	_ = send(enc, Message{Type: TypeBye, From: st.Node()})
 	// Drain until the peer closes the connection (EOF is the normal session
 	// end) so the final pushes are processed before we tear down.
 	var done Message
-	for dec.Decode(&done) == nil {
+	for recv(dec, &done) == nil {
 		if done.Type == TypeBye {
 			break
 		}
