@@ -545,6 +545,67 @@ func BenchmarkMatrixSweepMaxAvConRep(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepUserKernel isolates the per-user degree loop — the fused
+// one-pass kernel inside sweepUser (OrWithOverlapCount + incremental AoD +
+// cached delay prefixes). Schedules are precomputed outside the timed loop
+// and the pool runs a single worker over an explicit user list, so ns/user
+// is the kernel itself: policy selection plus MaxDegree+1 degree steps per
+// policy. Recorded into BENCH_matrix.json; benchguard holds ns_per_user to
+// within 2x of the committed baseline.
+func BenchmarkSweepUserKernel(b *testing.B) {
+	s := suite(b)
+	ds := s.Facebook
+	model := onlinetime.Sporadic{}
+	table := onlinetime.ComputeTable(model, ds, benchSeed, 1)
+	users := ds.Graph.UsersWithDegree(10)
+	if len(users) > 64 {
+		users = users[:64]
+	}
+	cfg := core.Config{
+		Dataset:   ds,
+		Model:     model,
+		Mode:      replica.ConRep,
+		Users:     users,
+		MaxDegree: 10,
+		Repeats:   benchRepeats,
+		Seed:      benchSeed,
+		Workers:   1,
+		Schedules: []*onlinetime.Table{table},
+	}
+	var res *core.Result
+	var err error
+	b.ReportAllocs()
+	meter := startAllocMeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	nsPerUser := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(users))
+	b.ReportMetric(nsPerUser, "ns/user")
+	recordMatrixBench(b, "SweepUserKernel", map[string]float64{
+		"ns_per_user":      nsPerUser,
+		"bytes_per_op":     meter.perOp(b.N),
+		"users":            float64(res.Users),
+		"maxav_avail_deg5": res.Value(policyIdx(b, res, "MaxAv"), 5, core.MetricAvailability),
+	})
+}
+
+// policyIdx locates a policy's row in a sweep result.
+func policyIdx(b *testing.B, res *core.Result, name string) int {
+	b.Helper()
+	for i, p := range res.Policies {
+		if p == name {
+			return i
+		}
+	}
+	b.Fatalf("policy %q not in result %v", name, res.Policies)
+	return -1
+}
+
 // BenchmarkDHTLookup isolates the DHT routing hot path: ring construction
 // outside the timed loop, then greedy finger-table lookups from rotating
 // origins to rotating profile keys. ns/lookup and the mean hop count are

@@ -42,6 +42,7 @@ func runMatrix(args []string) error {
 		events     = fs.String("events", "", "stream execution lifecycle events as JSONL to this file")
 		progress   = fs.Bool("progress", false, "live single-line progress on stderr (cells done, current phase, ETA, heap); replaces per-cell lines")
 		debugAddr  = fs.String("debug-addr", "", "serve the debug HTTP endpoint (pprof, expvar with obs counters) on this address for the duration of the run")
+		noPrefetch = fs.Bool("no-prefetch", false, "disable cell prefetching and repetition pipelining (serial reference execution); never affects results")
 	)
 	var pf prof.Flags
 	pf.Register(fs)
@@ -124,7 +125,7 @@ func runMatrix(args []string) error {
 	if *shardSize < 0 {
 		return fmt.Errorf("-shard-size must be >= 0, got %d", *shardSize)
 	}
-	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize, Telemetry: collector}
+	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize, NoPrefetch: *noPrefetch, Telemetry: collector}
 	switch {
 	case *progress:
 		// The live line owns stderr; per-cell lines would tear it.

@@ -35,9 +35,10 @@ import (
 // values are never read back on this side of the obs boundary, so results
 // stay a pure function of (spec, seed).
 var (
-	obsChunksSwept = obs.C("core.sweep_chunks")
-	obsUsersSwept  = obs.C("core.sweep_users")
-	obsRNGSeeded   = obs.C("core.rng_seeded")
+	obsChunksSwept     = obs.C("core.sweep_chunks")
+	obsUsersSwept      = obs.C("core.sweep_users")
+	obsRNGSeeded       = obs.C("core.rng_seeded")
+	obsTablesPipelined = obs.C("core.tables_pipelined")
 )
 
 // Metric identifies one of the efficiency metrics a sweep records.
@@ -110,11 +111,21 @@ type Config struct {
 	// the result bits are identical for any ShardUsers value, exactly as
 	// for any Workers value.
 	ShardUsers int
+	// NoPipeline disables the repetition pipeline: by default, when the
+	// sweep must build its own schedule tables (no Schedules entry for the
+	// repetition), the table for repetition r+1 is built concurrently with
+	// the sweep of repetition r, bounded to one table in flight, and grids
+	// are still merged in repetition order. Each repetition's randomness is
+	// an independent stream seeded by (Seed, rep), so the table bytes — and
+	// therefore the results — are bit-identical pipelined or serial; this
+	// knob exists for A/B tests and constrained-memory runs (one extra
+	// table alive during the overlap).
+	NoPipeline bool
 	// Obs, when non-nil, receives execution telemetry for this sweep:
 	// fine-grained phase accumulation (sweep-shards vs reduce), per-chunk
-	// counts, and per-worker busy time. Execution-only, exactly like
-	// Workers and ShardUsers: a nil or non-nil Obs never changes the
-	// result bits.
+	// counts, per-worker busy time, and the repetition pipeline's stall
+	// time. Execution-only, exactly like Workers and ShardUsers: a nil or
+	// non-nil Obs never changes the result bits.
 	Obs *obs.CellObs
 	// Schedules optionally supplies precomputed per-repetition schedule
 	// tables (Schedules[rep], user-indexed arena rows). When set for a
@@ -153,6 +164,14 @@ func (c *Config) fill() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	// The repetition pipeline overlaps the next table build with the
+	// current sweep; with no spare core that overlap only interleaves the
+	// two on one CPU while an extra table stays live, so it is gated off.
+	// Execution-only: results are bit-identical pipelined or serial
+	// (pinned by TestRunPipelineBitIdentical).
+	if runtime.NumCPU() == 1 {
+		c.NoPipeline = true
 	}
 	for rep, t := range c.Schedules {
 		if t != nil && t.NumUsers() < c.Dataset.NumUsers() {
@@ -250,24 +269,73 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.Cells = newGrid(len(cfg.Policies), cfg.MaxDegree+1)
 
+	// Repetition pipeline: while repetition r sweeps, the schedule table of
+	// repetition r+1 builds in the background (one table in flight). Each
+	// repetition's RNG stream is seeded independently by (Seed, rep), so
+	// build order cannot change a byte; grids still merge in rep order.
+	var next chan *onlinetime.Table
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		var table *onlinetime.Table
-		if rep < len(cfg.Schedules) && cfg.Schedules[rep] != nil {
-			table = cfg.Schedules[rep]
-		} else {
+		switch {
+		case next != nil:
 			var sw obs.Watch
 			if cfg.Obs != nil {
 				sw = obs.StartWatch()
 			}
-			table = cfg.Model.BuildTable(ds, rand.New(rand.NewSource(mix(cfg.Seed, int64(rep)))), cfg.Workers)
+			table = <-next
+			next = nil
+			if cfg.Obs != nil {
+				// Stall: sweep r-1 finished before table r was ready.
+				cfg.Obs.AddPhaseNS("pipeline-stall", sw.ElapsedNS())
+			}
+		case cfg.providedTable(rep) != nil:
+			table = cfg.providedTable(rep)
+		default:
+			var sw obs.Watch
+			if cfg.Obs != nil {
+				sw = obs.StartWatch()
+			}
+			table = cfg.buildTable(ds, rep)
 			if cfg.Obs != nil {
 				cfg.Obs.AddPhaseNS("schedule-build", sw.ElapsedNS())
 			}
+		}
+		if !cfg.NoPipeline && rep+1 < cfg.Repeats && cfg.providedTable(rep+1) == nil {
+			next = make(chan *onlinetime.Table, 1)
+			go func(rep int, out chan<- *onlinetime.Table) {
+				var sw obs.Watch
+				if cfg.Obs != nil {
+					sw = obs.StartWatch()
+				}
+				t := cfg.buildTable(ds, rep)
+				if cfg.Obs != nil {
+					cfg.Obs.AddPhaseNS("schedule-build", sw.ElapsedNS())
+				}
+				obsTablesPipelined.Inc()
+				out <- t
+			}(rep+1, next)
 		}
 		grid := sweepOnce(cfg, table, rep)
 		mergeGrids(res.Cells, grid)
 	}
 	return res, nil
+}
+
+// providedTable returns the caller-supplied schedule table for a repetition,
+// or nil when the sweep must build its own.
+func (c *Config) providedTable(rep int) *onlinetime.Table {
+	if rep < len(c.Schedules) {
+		return c.Schedules[rep]
+	}
+	return nil
+}
+
+// buildTable builds the schedule table of one repetition from the
+// repetition's independent RNG stream. Pure function of (dataset, model,
+// seed, rep): the pipeline may run it concurrently with another
+// repetition's sweep without reordering any randomness.
+func (c *Config) buildTable(ds *trace.Dataset, rep int) *onlinetime.Table {
+	return c.Model.BuildTable(ds, rand.New(rand.NewSource(mix(c.Seed, int64(rep)))), c.Workers)
 }
 
 func newGrid(policies, degrees int) [][]Cell {
@@ -349,7 +417,11 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 		if cfg.Obs != nil {
 			sw = obs.StartWatch()
 		}
-		for w := 0; w < cfg.Workers; w++ {
+		// A batch with fewer chunks than workers needs only one goroutine
+		// per chunk: extra workers would claim nothing and exit, but the
+		// sweep spawns a pool per batch, so at huge-tier shard counts (or
+		// tiny per-degree populations) the idle spawns add up.
+		for w := 0; w < min(cfg.Workers, ce-cs); w++ {
 			b.wg.Add(1)
 			go b.run()
 		}
@@ -439,6 +511,7 @@ type sweepScratch struct {
 	actMinutes []int
 	counts     trace.CountScratch
 	delay      metrics.DelayCalc
+	aod        metrics.AoDTracker
 }
 
 // sweepUser evaluates every policy and every replication degree for one
@@ -450,6 +523,16 @@ type sweepScratch struct {
 // for RNG seeding, only MaxAv(activity) pays for the demand set, and sets —
 // the vestigial sorted-interval schedules — is nil unless some policy's
 // traits declare it reads Input.Schedules.
+//
+// The degree loop is a one-pass incremental kernel: each step grows the
+// availability bitmap and reads back its measure and its demand overlap from
+// the single fused word traversal (interval.OrWithOverlapCount), the
+// AoD-activity hit count advances only by the newly set bits
+// (metrics.AoDTracker), and a degree that adds no replica (budget beyond the
+// selection) or no new minute reuses the previous step's integers outright.
+// Every reused or incrementally maintained quantity is the same integer the
+// full rescan produced, so every float added to the Welford cells is
+// bit-identical to the three-pass loop this replaces.
 //
 //dosn:hotpath
 func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep int, u socialgraph.UserID, grid [][]Cell, scratch *sweepScratch) {
@@ -494,6 +577,7 @@ func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep i
 	if needDemand {
 		in.Demand = MinuteSet(scratch.actMinutes)
 	}
+	scratch.aod.InitUser(scratch.actMinutes)
 	for pi, p := range cfg.Policies {
 		var rng *rand.Rand
 		if replica.TraitsOf(p).UsesRNG {
@@ -505,23 +589,43 @@ func sweepUser(cfg Config, sets []interval.Set, bitmaps []interval.Bitmap, rep i
 		// degree's delay is the shortest-path diameter over a prefix.
 		scratch.delay.Init(u, seq, bitmaps)
 		scratch.avail.CopyFrom(&bitmaps[u]) // degree 0: only the owner stores the profile
+		availLen := scratch.avail.Minutes()
+		overlap := scratch.avail.OverlapMinutes(&scratch.demand)
+		scratch.aod.Reset(&scratch.avail)
+		aodVal, aodOK := scratch.aod.Value()
+		delayHours, prevK := 0.0, 0
 		for r := 0; r <= cfg.MaxDegree; r++ {
 			k := r
 			if k > len(seq) {
 				k = len(seq)
 			}
 			if r > 0 && k == r { // grow the availability set incrementally
-				scratch.avail.OrWith(&bitmaps[seq[k-1]])
+				prevLen := availLen
+				availLen, overlap = scratch.avail.OrWithOverlapCount(&bitmaps[seq[k-1]], &scratch.demand)
+				if availLen != prevLen {
+					// New minutes were covered (equal popcount of a grown
+					// union means an unchanged set): fold exactly those bits
+					// into the AoD-activity hit count.
+					scratch.aod.Advance(&scratch.avail)
+					aodVal, aodOK = scratch.aod.Value()
+				}
+			}
+			if k != prevK || r == 0 {
+				// The node set {owner} ∪ seq[:k] changed (a subset-schedule
+				// replica still adds connectivity edges), so the diameter
+				// must be recomputed even when availability did not move.
+				delayHours = scratch.delay.Prefix(k).Hours
+				prevK = k
 			}
 			cell := &grid[pi][r]
-			cell.Availability.Add(scratch.avail.Fraction())
+			cell.Availability.Add(float64(availLen) / interval.DayMinutes)
 			if demandLen > 0 {
-				cell.AoDTime.Add(float64(scratch.avail.OverlapMinutes(&scratch.demand)) / float64(demandLen))
+				cell.AoDTime.Add(float64(overlap) / float64(demandLen))
 			}
-			if v, ok := metrics.AvailabilityOnDemandMinutes(&scratch.avail, scratch.actMinutes); ok {
-				cell.AoDActivity.Add(v)
+			if aodOK {
+				cell.AoDActivity.Add(aodVal)
 			}
-			cell.DelayHours.Add(scratch.delay.Prefix(k).Hours)
+			cell.DelayHours.Add(delayHours)
 			cell.Effective.Add(float64(k))
 		}
 	}

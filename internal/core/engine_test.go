@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dosn/internal/interval"
+	"dosn/internal/obs"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
 	"dosn/internal/socialgraph"
@@ -378,5 +379,63 @@ func TestSweepMaterializesSetsOnlyForDeclaredPolicies(t *testing.T) {
 	run(legacyProbe{sawSets: &sawSets})
 	if !sawSets.Load() {
 		t.Error("trait-less policy must conservatively receive interval sets")
+	}
+}
+
+// TestSweepWorkerPoolCappedByChunks pins the worker-spawn cap: a batch with
+// fewer chunks than workers must spawn one goroutine per chunk, not one per
+// configured worker. The pin reads the telemetry worker-span count — every
+// spawned sweep worker reports exactly one busy span — so a regression that
+// spawns idle workers shows up as extra spans.
+func TestSweepWorkerPoolCappedByChunks(t *testing.T) {
+	ds := testDataset(t)
+	users := ds.Graph.UsersWithDegree(10)[:3] // 3 users → a single 16-user chunk
+	collector := obs.NewCollector()
+	co := collector.StartCell("cap-test", 0)
+	_, err := Run(Config{
+		Dataset: ds, Users: users, MaxDegree: 2, Repeats: 2, Seed: 3,
+		Workers: 8, Obs: co,
+	})
+	co.Done()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := collector.Report("test", 8, 0)
+	if len(rep.Cells) != 1 || rep.Cells[0].Sweep == nil {
+		t.Fatalf("telemetry report missing sweep stats: %+v", rep.Cells)
+	}
+	// One chunk per repetition → one worker span per repetition.
+	if got := rep.Cells[0].Sweep.WorkerSpans; got != 2 {
+		t.Errorf("WorkerSpans = %d, want 2 (one per single-chunk batch)", got)
+	}
+}
+
+// TestRunPipelineBitIdentical pins the repetition pipeline's bit-identity:
+// building rep r+1's table in the background while rep r sweeps must yield
+// exactly the serial result, for any worker count, because each repetition's
+// RNG stream is independently seeded (mix(seed, rep)) and grids merge in
+// repetition order.
+func TestRunPipelineBitIdentical(t *testing.T) {
+	ds := testDataset(t)
+	base := Config{
+		Dataset: ds, Model: onlinetime.Sporadic{}, Mode: replica.ConRep,
+		MaxDegree: 4, UserDegree: 10, Repeats: 3, Seed: 11,
+	}
+	serial := base
+	serial.NoPipeline = true
+	want, err := Run(serial)
+	if err != nil {
+		t.Fatalf("Run(serial): %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(pipelined, workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("pipelined result (workers=%d) differs bitwise from serial reference", workers)
+		}
 	}
 }

@@ -180,3 +180,41 @@ func TestRootSeedChangesResults(t *testing.T) {
 		t.Error("different root seeds produced identical manifests")
 	}
 }
+
+// TestRunByteIdenticalWithPrefetch pins that the execution pipeline — the
+// background cell prefetcher plus core's repetition pipelining, both on by
+// default — is execution-only. The NoPrefetch reference runs fully serial
+// (no warm-ahead, no overlapped table builds); every pipelined variant must
+// reproduce its manifest byte for byte, including ScheduleCacheHits, which
+// counts cell-to-cell reuse and must not see prefetcher warm-ups.
+func TestRunByteIdenticalWithPrefetch(t *testing.T) {
+	spec := testSpec() // cells share (dataset, model) pairs → nonzero ScheduleCacheHits
+	marshal := func(opts RunOptions) []byte {
+		t.Helper()
+		m, err := Run(spec, opts)
+		if err != nil {
+			t.Fatalf("Run(%+v): %v", opts, err)
+		}
+		if m.ScheduleCacheHits == 0 {
+			t.Fatalf("spec exercises no schedule reuse; the hit-invariance pin is vacuous")
+		}
+		data, err := m.MarshalCanonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := marshal(RunOptions{Workers: 1, CoreWorkers: 1, NoPrefetch: true})
+	variants := []RunOptions{
+		{Workers: 1, CoreWorkers: 1},
+		{Workers: 1, CoreWorkers: 4, ShardSize: 7},
+		{Workers: 4, CoreWorkers: 2},
+		{Workers: 8, CoreWorkers: 1, ShardSize: 3},
+		{Workers: 8, CoreWorkers: 1, ShardSize: 3}, // same knobs twice: scheduling jitter
+	}
+	for _, opts := range variants {
+		if got := marshal(opts); !bytes.Equal(ref, got) {
+			t.Errorf("manifest bytes differ for %+v", opts)
+		}
+	}
+}

@@ -19,9 +19,11 @@ import (
 // Execution-only telemetry; see internal/obs. Values flow out to the debug
 // endpoint and telemetry reports, never back into manifests.
 var (
-	obsCellsStarted = obs.C("harness.cells_started")
-	obsCellsDone    = obs.C("harness.cells_done")
-	obsSchedHits    = obs.C("harness.schedule_cache_hits")
+	obsCellsStarted    = obs.C("harness.cells_started")
+	obsCellsDone       = obs.C("harness.cells_done")
+	obsSchedHits       = obs.C("harness.schedule_cache_hits")
+	obsCellsPrefetched = obs.C("harness.cells_prefetched")
+	obsPrefetchHits    = obs.C("harness.schedule_prefetch_hits")
 )
 
 // RunOptions tunes execution only; nothing here may change the results.
@@ -39,6 +41,17 @@ type RunOptions struct {
 	// Execution-only, like Workers: the manifest bytes are identical for
 	// any shard size.
 	ShardSize int
+	// NoPrefetch disables the cell prefetcher: by default a single
+	// background goroutine warms the dataset and schedule caches of the
+	// next unclaimed cell while the workers sweep the current ones, staying
+	// at most one cell ahead (the memory bound: one extra dataset + one
+	// schedule set in flight). Every warmed value is a pure function of the
+	// spec keys and lands in the same shared lazy caches the workers read,
+	// so manifests — including the ScheduleCacheHits count, which only ever
+	// counts cell-to-cell reuse — are byte-identical with the prefetcher on
+	// or off. It also disables core.Run's repetition pipeline for the
+	// cells, giving a fully serial A/B reference execution.
+	NoPrefetch bool
 	// Progress, when set, is called after each finished cell.
 	Progress func(done, total int, cell CellSpec, elapsed time.Duration)
 	// Telemetry, when set, collects per-cell phase breakdowns, worker
@@ -65,6 +78,14 @@ func (o RunOptions) fill(cells int) RunOptions {
 		// the division is uneven is goroutine-cheap; idle cores are not.
 		o.CoreWorkers = (runtime.NumCPU() + o.Workers - 1) / o.Workers
 	}
+	// Overlap needs a spare core: on a single-CPU machine the prefetcher and
+	// the repetition pipeline only steal cycles from the sweep and hold an
+	// extra dataset + table live, so both stay off. Execution-only, like
+	// Workers — results are byte-identical either way (pinned by
+	// TestRunByteIdenticalWithPrefetch).
+	if runtime.NumCPU() == 1 {
+		o.NoPrefetch = true
+	}
 	return o
 }
 
@@ -80,13 +101,26 @@ func (l *lazy[T]) get(compute func() (T, error)) (T, error) {
 	return l.val, l.err
 }
 
+// schedEntry is one (dataset, model) schedule-cache slot. Beyond the lazy
+// computation it tracks who touched it: requested flips when the first
+// *cell* (never the prefetcher) asks for it, which is what keeps the
+// manifest's ScheduleCacheHits — a count of cell-to-cell reuse — identical
+// whether or not the prefetcher populated the entry first; prefetched marks
+// entries the prefetcher warmed, feeding the execution-only
+// schedule_prefetch_hits counter.
+type schedEntry struct {
+	lazy[[]*onlinetime.Table]
+	requested  atomic.Bool
+	prefetched atomic.Bool
+}
+
 // caches shares datasets and schedule computations across the cells of one
 // run. Keys are value types of the spec, so two cells hit the same entry
 // exactly when their results are defined to coincide.
 type caches struct {
 	mu        sync.Mutex
 	datasets  map[string]*lazy[*trace.Dataset]
-	schedules map[string]*lazy[[]*onlinetime.Table]
+	schedules map[string]*schedEntry
 	rings     map[string]*lazy[*dht.Ring]
 	schedHits atomic.Int64
 }
@@ -94,7 +128,7 @@ type caches struct {
 func newCaches() *caches {
 	return &caches{
 		datasets:  make(map[string]*lazy[*trace.Dataset]),
-		schedules: make(map[string]*lazy[[]*onlinetime.Table]),
+		schedules: make(map[string]*schedEntry),
 		rings:     make(map[string]*lazy[*dht.Ring]),
 	}
 }
@@ -128,15 +162,15 @@ func (c *caches) ringFor(d DatasetSpec, bits int, ds *trace.Dataset) (*dht.Ring,
 	})
 }
 
-func (c *caches) scheduleEntry(key string) (entry *lazy[[]*onlinetime.Table], hit bool) {
+func (c *caches) scheduleEntry(key string) *schedEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.schedules[key]
 	if !ok {
-		e = &lazy[[]*onlinetime.Table]{}
+		e = &schedEntry{}
 		c.schedules[key] = e
 	}
-	return e, ok
+	return e
 }
 
 // buildDataset synthesizes the dataset a DatasetSpec describes through the
@@ -154,24 +188,86 @@ func buildDataset(d DatasetSpec) (*trace.Dataset, error) {
 // run — cells sharing the coordinates reuse the arena read-only, with no
 // per-cell conversion. buildWorkers is the filling cell's core budget: the
 // parallel phase-2 row construction may use it freely because worker counts
-// never reach the table bytes. hit reports whether the entry already
-// existed (telemetry: the cell reused another cell's schedules).
+// never reach the table bytes. hit reports whether another *cell* already
+// requested the entry (the manifest's ScheduleCacheHits counts exactly that
+// cell-to-cell reuse — an entry the prefetcher warmed first is not a cache
+// hit, or the manifest bytes would depend on the prefetcher's timing).
 func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) (tables []*onlinetime.Table, hit bool, err error) {
-	key := d.key() + "|" + m.key()
-	entry, existed := c.scheduleEntry(key)
-	if existed {
+	entry := c.scheduleEntry(d.key() + "|" + m.key())
+	if hit = entry.requested.Swap(true); hit {
 		c.schedHits.Add(1)
 		obsSchedHits.Inc()
+	} else if entry.prefetched.Load() {
+		// Execution-only: first cell to need these schedules found them
+		// already warmed by the prefetcher.
+		obsPrefetchHits.Inc()
 	}
-	tables, err = entry.get(func() ([]*onlinetime.Table, error) {
+	tables, err = entry.get(c.buildSchedules(spec, d, m, ds, model, buildWorkers))
+	return tables, hit, err
+}
+
+// buildSchedules returns the compute closure of one schedule-cache entry:
+// every repetition's table from the spec-derived seeds. Shared by the cell
+// path and the prefetcher so both populate an entry with the identical pure
+// function.
+func (c *caches) buildSchedules(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) func() ([]*onlinetime.Table, error) {
+	return func() ([]*onlinetime.Table, error) {
 		out := make([]*onlinetime.Table, spec.Repeats)
 		for rep := range out {
 			rng := rand.New(rand.NewSource(spec.scheduleSeed(d, m, rep)))
 			out[rep] = model.BuildTable(ds, rng, buildWorkers)
 		}
 		return out, nil
+	}
+}
+
+// warmCell is the prefetcher's work: populate the dataset and schedule
+// caches for one cell, exactly as the cell's worker would, without touching
+// the cache-hit accounting. Errors are deliberately dropped — the owning
+// cell will rerun the same lazy computation and surface the identical error
+// with its cell context attached.
+func (c *caches) warmCell(spec MatrixSpec, cell CellSpec, buildWorkers int) {
+	ds, err := c.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
+		return buildDataset(cell.Dataset)
 	})
-	return tables, existed, err
+	if err != nil {
+		return
+	}
+	if !cell.isFriend() {
+		_, _ = c.ringFor(cell.Dataset, cell.RingBits, ds)
+	}
+	model, err := cell.Model.Model()
+	if err != nil {
+		return
+	}
+	entry := c.scheduleEntry(cell.Dataset.key() + "|" + cell.Model.key())
+	entry.prefetched.Store(true)
+	_, _ = entry.get(c.buildSchedules(spec, cell.Dataset, cell.Model, ds, model, buildWorkers))
+	obsCellsPrefetched.Inc()
+}
+
+// prefetch overlaps next-cell synthesis with the running cells' sweeps. It
+// stays at most ONE cell ahead of the highest index any worker has claimed,
+// so peak memory grows by a single extra dataset+schedule set regardless of
+// matrix size. claims carries every claimed index and is closed once the
+// workers drain, which bounds the goroutine's lifetime to Run's.
+func prefetch(spec MatrixSpec, cells []CellSpec, opts RunOptions, shared *caches, claims <-chan int) {
+	maxClaimed := -1
+	pf := 0 // next cell index eligible for warming
+	for i := range claims {
+		if i > maxClaimed {
+			maxClaimed = i
+		}
+		if pf <= maxClaimed {
+			// Workers already own everything up to maxClaimed; warming
+			// those would only duplicate waiting.
+			pf = maxClaimed + 1
+		}
+		if pf == maxClaimed+1 && pf < len(cells) {
+			shared.warmCell(spec, cells[pf], opts.CoreWorkers)
+			pf++
+		}
+	}
 }
 
 // Run executes every cell of the matrix and returns the assembled manifest.
@@ -203,6 +299,12 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 	errs := make([]error, len(cells))
 	var next atomic.Int64
 	next.Store(-1)
+	// claims feeds the prefetcher: each claimed cell index, buffered so
+	// workers never block on it. Closed after the workers drain.
+	var claims chan int
+	if !opts.NoPrefetch {
+		claims = make(chan int, len(cells)+opts.Workers)
+	}
 	var done atomic.Int64
 	var mu sync.Mutex // serializes Progress callbacks
 	var wg sync.WaitGroup
@@ -214,6 +316,9 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 				i := int(next.Add(1))
 				if i >= len(cells) {
 					return
+				}
+				if claims != nil {
+					claims <- i
 				}
 				//dosn:wallclock elapsed feeds only the Progress callback; results never read it
 				start := time.Now()
@@ -232,7 +337,19 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 			}
 		}(w)
 	}
+	var prefetchWG sync.WaitGroup
+	if claims != nil {
+		prefetchWG.Add(1)
+		go func() {
+			defer prefetchWG.Done()
+			prefetch(spec, cells, opts, shared, claims)
+		}()
+	}
 	wg.Wait()
+	if claims != nil {
+		close(claims)
+		prefetchWG.Wait()
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cell %s: %w", cells[i].Key(), err)
@@ -304,6 +421,7 @@ func runCell(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts Run
 		Workers:    opts.CoreWorkers,
 		ShardUsers: opts.ShardSize,
 		Schedules:  schedules,
+		NoPipeline: opts.NoPrefetch,
 		Obs:        co,
 	})
 	phaseDone()

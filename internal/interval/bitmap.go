@@ -195,16 +195,16 @@ func (b *Bitmap) Set() Set {
 	return Set{ivs: ivs}
 }
 
-// word returns word i with the out-of-day bits of the final word masked off,
-// so iteration code never sees phantom minutes ≥ DayMinutes.
+// word returns word i. The out-of-day bits of the final word are zero by
+// invariant, so iteration code never sees phantom minutes ≥ DayMinutes: the
+// zero value is clean, setRange — the only primitive that sets bits — is
+// bounded by DayMinutes, and every other writer zeroes, copies, ORs or ANDs
+// words that are already clean. TestQuickBitmapPhantomBitsZero pins the
+// invariant across randomized operation sequences; keeping the accessor
+// mask-free removes a branch from every word of every hot scan.
 //
 //dosn:hotpath
-func (b *Bitmap) word(i int) uint64 {
-	if i == BitmapWords-1 {
-		return b.w[i] & lastWordMask
-	}
-	return b.w[i]
-}
+func (b *Bitmap) word(i int) uint64 { return b.w[i] }
 
 // IsEmpty reports whether no minute is set.
 //
@@ -262,6 +262,86 @@ func (b *Bitmap) OrWith(o *Bitmap) {
 	for i := range b.w {
 		b.w[i] |= o.w[i]
 	}
+}
+
+// OrWithCount unions o into b in place and returns the resulting measure in
+// minutes — OrWith followed by Minutes, fused into a single pass over the
+// words. The sweep's degree loop grows one availability bitmap per step and
+// immediately needs its popcount; the fused form halves the word traffic of
+// the two-call sequence while returning the identical integer.
+//
+//dosn:hotpath
+func (b *Bitmap) OrWithCount(o *Bitmap) int {
+	n := 0
+	for i := 0; i < BitmapWords-1; i++ {
+		w := b.w[i] | o.w[i]
+		b.w[i] = w
+		n += bits.OnesCount64(w)
+	}
+	w := b.w[BitmapWords-1] | o.w[BitmapWords-1]
+	b.w[BitmapWords-1] = w
+	return n + bits.OnesCount64(w&lastWordMask)
+}
+
+// OrWithOverlapCount unions o into b in place and returns both the resulting
+// measure and the overlap measure against other — OrWith + Minutes +
+// OverlapMinutes fused into one pass, so the degree loop's three full-bitmap
+// scans (grow availability, measure it, measure its demand overlap) collapse
+// into a single 23-word traversal. Both integers are identical to the
+// composed calls.
+//
+//dosn:hotpath
+func (b *Bitmap) OrWithOverlapCount(o, other *Bitmap) (minutes, overlap int) {
+	for i := 0; i < BitmapWords-1; i++ {
+		w := b.w[i] | o.w[i]
+		b.w[i] = w
+		minutes += bits.OnesCount64(w)
+		overlap += bits.OnesCount64(w & other.w[i])
+	}
+	w := (b.w[BitmapWords-1] | o.w[BitmapWords-1])
+	b.w[BitmapWords-1] = w
+	w &= lastWordMask
+	minutes += bits.OnesCount64(w)
+	overlap += bits.OnesCount64(w & other.w[BitmapWords-1])
+	return minutes, overlap
+}
+
+// AppendDiffMinutes appends to dst the minutes set in b but not in prev, in
+// increasing order, and returns the grown slice (caller-owned scratch, no
+// allocation once capacity suffices). It is the incremental-update feed: a
+// consumer tracking a growing set folds in exactly the newly set bits instead
+// of rescanning the whole bitmap.
+//
+//dosn:hotpath
+func (b *Bitmap) AppendDiffMinutes(prev *Bitmap, dst []int) []int {
+	for i := range b.w {
+		d := b.word(i) &^ prev.w[i]
+		base := i * 64
+		for d != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(d))
+			d &= d - 1
+		}
+	}
+	return dst
+}
+
+// AppendNewOverlapMinutes appends to dst the minutes of (b \ prev) ∩ mask,
+// in increasing order, and returns the grown slice. It is the filtered
+// variant of AppendDiffMinutes: a consumer interested only in a fixed mask
+// (e.g. a user's activity minutes) enumerates just the newly set bits that
+// land inside it, so cost scales with the mask hits rather than the growth.
+//
+//dosn:hotpath
+func (b *Bitmap) AppendNewOverlapMinutes(prev, mask *Bitmap, dst []int) []int {
+	for i := range b.w {
+		d := b.word(i) &^ prev.w[i] & mask.w[i]
+		base := i * 64
+		for d != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(d))
+			d &= d - 1
+		}
+	}
+	return dst
 }
 
 // AndWith intersects b with o in place.
@@ -432,6 +512,69 @@ func (b *Bitmap) MaxGap() (gap int, ok bool) {
 	}
 	if leading < 0 {
 		return 0, false // no set bit anywhere: empty set
+	}
+	// The trailing zero run wraps around midnight into the leading one.
+	if wrap := run + leading; wrap > maxRun {
+		maxRun = wrap
+	}
+	return maxRun, true
+}
+
+// MaxGapWith returns MaxGap of the intersection b ∩ o without materializing
+// it: the identical zero-run scan with each word fetched as
+// b.word(wi) & o.word(wi). Callers that only need the gap of a pairwise
+// intersection (the delay calculator's edge weights) skip one full bitmap
+// write and re-read per pair. Kept in lockstep with MaxGap and pinned
+// against IntersectInto+MaxGap by TestQuickBitmapMaxGapWith.
+//
+//dosn:hotpath
+func (b *Bitmap) MaxGapWith(o *Bitmap) (gap int, ok bool) {
+	maxRun, run := 0, 0
+	leading := -1 // zero run before the first set bit, for the circular wrap
+	for wi := 0; wi < BitmapWords; wi++ {
+		w := b.word(wi) & o.word(wi)
+		nbits := 64
+		if wi == BitmapWords-1 {
+			nbits = lastWordBits
+		}
+		if w == 0 {
+			run += nbits
+			continue
+		}
+		idx := 0
+		for idx < nbits {
+			if w == 0 { // only zeros remain in this word
+				run += nbits - idx
+				break
+			}
+			if tz := bits.TrailingZeros64(w); tz > 0 {
+				step := tz
+				if step > nbits-idx {
+					step = nbits - idx
+				}
+				run += step
+				w >>= uint(step)
+				idx += step
+				continue
+			}
+			// A run of set bits begins: close the current zero run.
+			if leading < 0 {
+				leading = run
+			}
+			if run > maxRun {
+				maxRun = run
+			}
+			run = 0
+			ones := bits.TrailingZeros64(^w)
+			if ones > nbits-idx {
+				ones = nbits - idx
+			}
+			w >>= uint(ones)
+			idx += ones
+		}
+	}
+	if leading < 0 {
+		return 0, false // no set bit anywhere: empty intersection
 	}
 	// The trailing zero run wraps around midnight into the leading one.
 	if wrap := run + leading; wrap > maxRun {

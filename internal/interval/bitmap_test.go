@@ -204,6 +204,56 @@ func TestQuickBitmapMaxGapAgrees(t *testing.T) {
 	}
 }
 
+func TestQuickBitmapPhantomBitsZero(t *testing.T) {
+	// word() reads raw words on the strength of this invariant: no
+	// operation ever sets the out-of-day bits of the final word. Exercise
+	// every mutating path and check the phantom region after each.
+	clean := func(bs ...*Bitmap) bool {
+		for _, b := range bs {
+			if b.w[BitmapWords-1]&^lastWordMask != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b Set, start, length int) bool {
+		ab, bb := a.Bitmap(), b.Bitmap()
+		var scratch Bitmap
+		scratch.SetFrom(a)
+		scratch.AddInterval(Interval{Start: start, End: start + length%(3*DayMinutes)})
+		scratch.OrWith(&bb)
+		scratch.OrWithCount(&ab)
+		scratch.OrWithOverlapCount(&bb, &ab)
+		scratch.AndWith(&ab)
+		var inter Bitmap
+		inter.IntersectInto(&ab, &bb)
+		u := ab.Union(&bb)
+		i := ab.Intersect(&bb)
+		var cp Bitmap
+		cp.CopyFrom(&scratch)
+		return clean(&ab, &bb, &scratch, &inter, &u, &i, &cp)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapMaxGapWith(t *testing.T) {
+	// The fused intersection gap must match materializing the intersection
+	// first: MaxGapWith(a, b) ≡ IntersectInto(a, b); MaxGap().
+	f := func(a, b Set) bool {
+		ab, bb := a.Bitmap(), b.Bitmap()
+		var common Bitmap
+		common.IntersectInto(&ab, &bb)
+		wantGap, wantOK := common.MaxGap()
+		gotGap, gotOK := ab.MaxGapWith(&bb)
+		return gotGap == wantGap && gotOK == wantOK
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQuickBitmapGainAgrees(t *testing.T) {
 	// The greedy set cover's gain arithmetic must match the Set arithmetic
 	// MaxAv used before: the unrestricted gain is size − overlap, and the
@@ -264,5 +314,119 @@ func TestQuickBitmapMidnightWrap(t *testing.T) {
 		if sg != bg || sok != bok {
 			t.Fatalf("MaxGap(%v): bitmap %d,%v vs set %d,%v", s, bg, bok, sg, sok)
 		}
+	}
+}
+
+// --- fused sweep-kernel ops ------------------------------------------------
+//
+// OrWithCount / OrWithOverlapCount / AppendDiffMinutes exist so the sweep's
+// inner degree loop touches each 23-word bitmap once. Their contract is exact
+// equivalence with the separate ops they fuse — the goldens depend on it.
+
+func TestQuickBitmapOrWithCountAgrees(t *testing.T) {
+	f := func(a, b Set) bool {
+		fused := a.Bitmap()
+		bb := b.Bitmap()
+		n := fused.OrWithCount(&bb)
+		ref := a.Bitmap()
+		ref.OrWith(&bb)
+		return fused.Equal(&ref) && n == ref.Minutes()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapOrWithOverlapCountAgrees(t *testing.T) {
+	f := func(a, b, demand Set) bool {
+		fused := a.Bitmap()
+		bb, db := b.Bitmap(), demand.Bitmap()
+		minutes, overlap := fused.OrWithOverlapCount(&bb, &db)
+		ref := a.Bitmap()
+		ref.OrWith(&bb)
+		return fused.Equal(&ref) &&
+			minutes == ref.Minutes() &&
+			overlap == ref.OverlapMinutes(&db)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapAppendDiffMinutes(t *testing.T) {
+	// Against a grown union (prev ⊆ b, the sweep's only call shape) the diff
+	// is exactly the set difference, emitted in ascending minute order and
+	// appended after dst's existing prefix.
+	f := func(a, b Set) bool {
+		prev := a.Bitmap()
+		grown := a.Bitmap()
+		bb := b.Bitmap()
+		grown.OrWith(&bb)
+		dst := []int{-1}
+		dst = grown.AppendDiffMinutes(&prev, dst)
+		if dst[0] != -1 {
+			return false
+		}
+		want := b.Subtract(a)
+		got := NewSet()
+		last := -1
+		for _, m := range dst[1:] {
+			if m <= last || m < 0 || m >= DayMinutes {
+				return false
+			}
+			last = m
+			got = got.Union(NewSet(Interval{Start: m, End: m + 1}))
+		}
+		return len(dst)-1 == want.Len() && got.Equal(want)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapAppendDiffMinutesArbitrary(t *testing.T) {
+	// The general contract (no subset relation): minutes of b \ prev.
+	f := func(a, b Set) bool {
+		ab, bb := a.Bitmap(), b.Bitmap()
+		dst := ab.AppendDiffMinutes(&bb, nil)
+		want := a.Subtract(b)
+		if len(dst) != want.Len() {
+			return false
+		}
+		for _, m := range dst {
+			if !want.Contains(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitmapAppendNewOverlapMinutes(t *testing.T) {
+	// (b \ prev) ∩ mask, ascending — the AoD tracker's feed.
+	f := func(a, b, mask Set) bool {
+		prev := a.Bitmap()
+		grown := a.Bitmap()
+		bb, mb := b.Bitmap(), mask.Bitmap()
+		grown.OrWith(&bb)
+		dst := grown.AppendNewOverlapMinutes(&prev, &mb, nil)
+		want := b.Subtract(a).Intersect(mask)
+		if len(dst) != want.Len() {
+			return false
+		}
+		last := -1
+		for _, m := range dst {
+			if m <= last || !want.Contains(m) {
+				return false
+			}
+			last = m
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
 	}
 }

@@ -104,3 +104,53 @@ func countsChunks(s *scratch, lo, hi int) {
 	chunksSwept.add(int64(hi - lo))
 	s.buf = append(s.buf, hi-lo)
 }
+
+// words models the fused sweep-kernel shape (interval.OrWithOverlapCount,
+// metrics.AoDTracker.Advance): fixed-size word arrays mutated in place,
+// counts accumulated into locals, and bit-enumeration appends into
+// receiver-rooted scratch. None of it allocates, so hotalloc must stay
+// silent on the whole pattern.
+type words struct {
+	w    [4]uint64
+	mins []int
+}
+
+//dosn:hotpath
+func (b *words) fusedOrCount(o, mask *words) (n, overlap int) {
+	for i := range b.w {
+		w := b.w[i] | o.w[i]
+		b.w[i] = w
+		n += popcount(w)
+		overlap += popcount(w & mask.w[i])
+	}
+	return n, overlap
+}
+
+//dosn:hotpath
+func (b *words) appendNewBits(prev *words) {
+	b.mins = b.mins[:0]
+	for i := range b.w {
+		d := b.w[i] &^ prev.w[i]
+		for d != 0 {
+			b.mins = append(b.mins, i*64+trailing(d))
+			d &= d - 1
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+func trailing(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -110,6 +110,89 @@ func AvailabilityOnDemandMinutes(avail *interval.Bitmap, minutes []int) (v float
 	return float64(hit) / float64(len(minutes)), true
 }
 
+// AoDTracker maintains the availability-on-demand-activity metric
+// incrementally over a growing availability set. The sweep's degree loop
+// previously rescanned every activity minute against the availability bitmap
+// once per (policy, degree); the tracker digests the minutes once per user
+// (InitUser) into a distinct-minute bitmap plus per-minute multiplicities,
+// counts the initially covered activities once per policy (Reset), and
+// thereafter folds in only newly covered *activity* minutes (Advance): each
+// step is one 23-word pass of (avail \ covered) ∩ activity, enumerating hit
+// bits only — across a whole degree sweep that is at most one bit per
+// distinct activity minute. Value returns exactly
+// AvailabilityOnDemandMinutes of the tracked set: the hit count is the same
+// integer, so the division is the same float.
+//
+// The zero value is ready; scratch is reused across users.
+type AoDTracker struct {
+	total    int                         // number of activities, duplicates included
+	act      interval.Bitmap             // distinct activity minutes
+	weight   [interval.DayMinutes]uint16 // multiplicity per minute-of-day
+	distinct []int                       // minutes with weight > 0, for O(distinct) clearing
+	covered  interval.Bitmap             // the availability set accounted for in hits
+	newMins  []int                       // scratch: newly covered activity minutes
+	hits     int                         // activities whose minute is in covered
+}
+
+// InitUser digests one user's activity minutes. minutes itself is not
+// modified (callers reuse it in original order). Out-of-range values are
+// reduced modulo the day, matching the Contains probes of the rescan path.
+func (t *AoDTracker) InitUser(minutes []int) {
+	for _, m := range t.distinct {
+		t.weight[m] = 0
+	}
+	t.distinct = t.distinct[:0]
+	t.act.Clear()
+	t.total = len(minutes)
+	for _, m := range minutes {
+		m %= interval.DayMinutes
+		if m < 0 {
+			m += interval.DayMinutes
+		}
+		if t.weight[m] == 0 {
+			t.distinct = append(t.distinct, m)
+			t.act.AddInterval(interval.Interval{Start: m, End: m + 1})
+		}
+		t.weight[m]++
+	}
+}
+
+// Reset starts a new selection from the base availability set (the owner's
+// own schedule at degree 0), once per policy.
+//
+//dosn:hotpath
+func (t *AoDTracker) Reset(avail *interval.Bitmap) {
+	t.covered.Clear()
+	t.hits = 0
+	t.Advance(avail)
+}
+
+// Advance folds the newly covered minutes of avail — which must be a
+// superset of the set passed to the last Reset/Advance, exactly the degree
+// loop's growing union — into the hit count. Cost is one word-level pass
+// plus one weight lookup per newly covered activity minute.
+//
+//dosn:hotpath
+func (t *AoDTracker) Advance(avail *interval.Bitmap) {
+	t.newMins = avail.AppendNewOverlapMinutes(&t.covered, &t.act, t.newMins[:0])
+	for _, m := range t.newMins {
+		t.hits += int(t.weight[m])
+	}
+	t.covered.CopyFrom(avail)
+}
+
+// Value returns the tracked metric: the fraction of activities whose
+// minute-of-day the availability set covers. ok is false when the profile
+// received no activity, exactly as AvailabilityOnDemandMinutes reports.
+//
+//dosn:hotpath
+func (t *AoDTracker) Value() (v float64, ok bool) {
+	if t.total == 0 {
+		return 0, false
+	}
+	return float64(t.hits) / float64(t.total), true
+}
+
 // DelayResult reports the update-propagation-delay metric (§II-C3).
 type DelayResult struct {
 	// Hours is the worst-case update propagation delay: the weighted
@@ -209,11 +292,9 @@ func (dc *DelayCalc) Init(owner socialgraph.UserID, seq []socialgraph.UserID, bi
 // so two O(m²) passes keep the solution exact.
 func (dc *DelayCalc) addNode() {
 	m, st := dc.solved, dc.stride
-	var common interval.Bitmap
 	for j := 0; j < m; j++ {
-		common.IntersectInto(&dc.nodes[j], &dc.nodes[m])
 		w := delayInf
-		if gap, ok := common.MaxGap(); ok {
+		if gap, ok := dc.nodes[j].MaxGapWith(&dc.nodes[m]); ok {
 			w = gap
 		}
 		dc.wrow[j] = w

@@ -433,3 +433,61 @@ func TestSummarizeHops(t *testing.T) {
 		t.Errorf("hop summary = %+v, want {3 2 4}", s)
 	}
 }
+
+// TestAoDTrackerMatchesRescan drives the incremental tracker through the
+// sweep's exact call shape — InitUser once, then per policy a Reset followed
+// by a chain of growing unions with Advance — and checks Value against the
+// full AvailabilityOnDemandMinutes rescan at every step. Activity minutes
+// include duplicates, word-boundary minutes, and out-of-range values, which
+// must normalize exactly like the rescan's Contains (mod DayMinutes).
+func TestAoDTrackerMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tr AoDTracker
+	for trial := 0; trial < 200; trial++ {
+		nAct := rng.Intn(12)
+		raw := make([]int, 0, nAct+4)
+		for i := 0; i < nAct; i++ {
+			m := rng.Intn(3*interval.DayMinutes) - interval.DayMinutes
+			raw = append(raw, m)
+			if rng.Intn(3) == 0 {
+				raw = append(raw, m) // duplicates count double in the rescan too
+			}
+		}
+		if trial%5 == 0 {
+			raw = append(raw, 0, 63, 64, interval.DayMinutes-1)
+		}
+		norm := make([]int, len(raw))
+		for i, m := range raw {
+			norm[i] = ((m % interval.DayMinutes) + interval.DayMinutes) % interval.DayMinutes
+		}
+		tr.InitUser(raw)
+		for reset := 0; reset < 2; reset++ {
+			avail := randSet(rng).Bitmap()
+			tr.Reset(&avail)
+			for step := 0; step < 6; step++ {
+				if step > 0 {
+					grow := randSet(rng).Bitmap()
+					avail.OrWith(&grow)
+					tr.Advance(&avail)
+				}
+				want, wantOK := AvailabilityOnDemandMinutes(&avail, norm)
+				got, gotOK := tr.Value()
+				if want != got || wantOK != gotOK {
+					t.Fatalf("trial %d reset %d step %d: tracker %v,%v vs rescan %v,%v (acts %v)",
+						trial, reset, step, got, gotOK, want, wantOK, raw)
+				}
+			}
+		}
+	}
+}
+
+// randSet builds a small random interval set for the tracker trials.
+func randSet(rng *rand.Rand) interval.Set {
+	n := rng.Intn(5)
+	ivs := make([]interval.Interval, 0, n)
+	for i := 0; i < n; i++ {
+		start := rng.Intn(interval.DayMinutes)
+		ivs = append(ivs, interval.Interval{Start: start, End: start + 1 + rng.Intn(200)})
+	}
+	return interval.NewSet(ivs...)
+}

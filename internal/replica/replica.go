@@ -82,7 +82,7 @@ type Input struct {
 	Budget int
 }
 
-func (in Input) schedule(u socialgraph.UserID) interval.Set {
+func (in *Input) schedule(u socialgraph.UserID) interval.Set {
 	if u < 0 || int(u) >= len(in.Schedules) {
 		return interval.Empty
 	}
@@ -91,7 +91,7 @@ func (in Input) schedule(u socialgraph.UserID) interval.Set {
 
 // bitmap returns the precomputed dense schedule of u, or nil when the caller
 // did not supply Bitmaps (or u is out of range).
-func (in Input) bitmap(u socialgraph.UserID) *interval.Bitmap {
+func (in *Input) bitmap(u socialgraph.UserID) *interval.Bitmap {
 	if in.Bitmaps == nil || u < 0 || int(u) >= len(in.Bitmaps) {
 		return nil
 	}
@@ -104,7 +104,7 @@ func (in Input) bitmap(u socialgraph.UserID) *interval.Bitmap {
 // Both answer identically. Exported so policy implementations outside this
 // package (the DHT placements in internal/dht) can honor ConRep mode with
 // the identical rule.
-func (in Input) Connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
+func (in *Input) Connected(c socialgraph.UserID, chosen []socialgraph.UserID) bool {
 	if cb := in.bitmap(c); cb != nil {
 		if ob := in.bitmap(in.Owner); ob != nil && cb.Intersects(ob) {
 			return true
@@ -129,7 +129,7 @@ func (in Input) Connected(c socialgraph.UserID, chosen []socialgraph.UserID) boo
 }
 
 // eligible returns the not-yet-chosen candidates permitted by the mode.
-func (in Input) eligible(chosen []socialgraph.UserID, taken map[socialgraph.UserID]bool) []socialgraph.UserID {
+func (in *Input) eligible(chosen []socialgraph.UserID, taken map[socialgraph.UserID]bool) []socialgraph.UserID {
 	out := make([]socialgraph.UserID, 0, len(in.Candidates))
 	for _, c := range in.Candidates {
 		if taken[c] {
@@ -293,15 +293,43 @@ func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
 		demand.SetFrom(in.Demand)
 	}
 
+	// ConRep connectivity, maintained incrementally: conn[i] starts as
+	// "overlaps the owner" (covered holds exactly the owner's minutes here)
+	// and each chosen replica can only switch candidates from unconnected to
+	// connected, so one Intersects against the new replica per candidate per
+	// round replaces Connected's rescan of the whole chosen list. The
+	// answers are identical to Input.Connected at every probe.
+	var conn []bool
+	if in.Mode == ConRep {
+		conn = make([]bool, len(in.Candidates))
+		for i := range in.Candidates {
+			conn[i] = cand[i].Intersects(&covered)
+		}
+	}
+
+	// bound[i] is an upper bound on candidate i's marginal gain: initially
+	// its schedule size, thereafter its gain the last time it was evaluated.
+	// covered only grows, so gains are non-increasing across rounds
+	// (coverage is submodular) and the bound stays valid even for rounds a
+	// candidate sat out as unconnected. A candidate with bound < bestGain
+	// cannot win the round, and one with bound 0 can never be picked at all
+	// (selection requires gain > 0), so both skips leave the chosen
+	// sequence bit-identical to the full rescan.
+	bound := make([]int, len(in.Candidates))
+	copy(bound, size)
+
 	for len(chosen) < in.Budget {
 		bestIdx := -1
 		bestGain := 0
 		bestOverlap := 0
-		for i, c := range in.Candidates {
+		for i := range in.Candidates {
 			if taken[i] {
 				continue
 			}
-			if in.Mode == ConRep && !in.Connected(c, chosen) {
+			if conn != nil && !conn[i] {
+				continue
+			}
+			if bound[i] == 0 || bound[i] < bestGain {
 				continue
 			}
 			overlap := covered.OverlapMinutes(cand[i])
@@ -312,6 +340,7 @@ func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
 			} else {
 				gain = size[i] - overlap // |OT_c \ covered|
 			}
+			bound[i] = gain
 			// Maximize marginal coverage; the paper words the tie-break as
 			// "least overlap with the current covered set"; candidate ID
 			// breaks remaining ties deterministically.
@@ -325,6 +354,13 @@ func (m MaxAv) Select(in Input, _ *rand.Rand) []socialgraph.UserID {
 		chosen = append(chosen, in.Candidates[bestIdx])
 		taken[bestIdx] = true
 		covered.OrWith(cand[bestIdx])
+		if conn != nil {
+			for i := range conn {
+				if !conn[i] && cand[i].Intersects(cand[bestIdx]) {
+					conn[i] = true
+				}
+			}
+		}
 	}
 	return chosen
 }
@@ -342,7 +378,7 @@ func (MostActive) Traits() Traits { return Traits{UsesRNG: true, UsesInteraction
 
 // countAt returns the interaction count of candidate position i, preferring
 // the positional CandidateCounts column over the map.
-func (in Input) countAt(i int) int {
+func (in *Input) countAt(i int) int {
 	if in.CandidateCounts != nil {
 		return in.CandidateCounts[i]
 	}

@@ -20,7 +20,13 @@ type testRows struct {
 }
 
 func (testRows) Generate(r *rand.Rand, size int) reflect.Value {
+	// Half the batches stay inside one day with heavy ties; the other half
+	// span several days so the day-partition round and its boundaries
+	// (second 0 and 86399 of interior days) are exercised too.
 	span := int64(1 + r.Intn(500))
+	if r.Intn(2) == 1 {
+		span = int64(1 + r.Intn(5*daySeconds))
+	}
 	n := r.Intn(400)
 	g := testRows{
 		creator:  make([]socialgraph.UserID, n),
@@ -69,15 +75,16 @@ func TestQuickScatterSortMatchesStableSort(t *testing.T) {
 		wc, wr, wa := refSortColumns(g)
 		n := len(g.atUnix)
 
-		// Counting path: per-second histogram + column-by-column scatter.
-		hist := make([]int32, g.span)
+		// Counting path: per-day row counts + two-round day scatter.
+		days := int((g.span + daySeconds - 1) / daySeconds)
+		dayCounts := make([]int32, days)
 		for _, ts := range g.atUnix {
-			hist[ts-Epoch.Unix()]++
+			dayCounts[(ts-Epoch.Unix())/daySeconds]++
 		}
 		creator := append([]socialgraph.UserID{}, g.creator...)
 		receiver := append([]socialgraph.UserID{}, g.receiver...)
 		atUnix := append([]int64{}, g.atUnix...)
-		scatterSortColumns(hist, Epoch.Unix(), &creator, &receiver, &atUnix)
+		scatterSortColumnsByDay(dayCounts, Epoch.Unix(), &creator, &receiver, &atUnix)
 		if !reflect.DeepEqual(creator, wc) || !reflect.DeepEqual(receiver, wr) || !reflect.DeepEqual(atUnix, wa) {
 			t.Logf("n=%d: counting scatter ordered differently from the stable reference", n)
 			return false
@@ -126,10 +133,49 @@ func TestUseCountingSortHeuristic(t *testing.T) {
 func TestScatterSortColumnsEmpty(t *testing.T) {
 	var creator, receiver []socialgraph.UserID
 	var atUnix []int64
-	scatterSortColumns(make([]int32, 86400), Epoch.Unix(), &creator, &receiver, &atUnix)
+	scatterSortColumnsByDay(make([]int32, 30), Epoch.Unix(), &creator, &receiver, &atUnix)
 	if len(creator) != 0 || len(receiver) != 0 || len(atUnix) != 0 {
 		t.Errorf("scatter of empty columns produced %d/%d/%d rows, want 0",
 			len(creator), len(receiver), len(atUnix))
+	}
+}
+
+// TestScatterSortDayBoundaries pins the exact boundary seconds: the last
+// second of one day and the first of the next must land in different
+// partitions, and ties on a boundary second keep generation order.
+func TestScatterSortDayBoundaries(t *testing.T) {
+	epoch := Epoch.Unix()
+	at := []int64{
+		epoch + 2*daySeconds, // first second of day 2
+		epoch + daySeconds - 1,
+		epoch,
+		epoch + daySeconds, // first second of day 1
+		epoch + daySeconds - 1,
+		epoch + 3*daySeconds - 1, // last second of day 2
+		epoch,
+	}
+	g := testRows{
+		creator:  make([]socialgraph.UserID, len(at)),
+		receiver: make([]socialgraph.UserID, len(at)),
+		atUnix:   at,
+		span:     3 * daySeconds,
+	}
+	for i := range g.creator {
+		g.creator[i] = socialgraph.UserID(i)
+		g.receiver[i] = socialgraph.UserID(100 + i)
+	}
+	wc, wr, wa := refSortColumns(g)
+
+	dayCounts := make([]int32, 3)
+	for _, ts := range at {
+		dayCounts[(ts-epoch)/daySeconds]++
+	}
+	creator := append([]socialgraph.UserID{}, g.creator...)
+	receiver := append([]socialgraph.UserID{}, g.receiver...)
+	atUnix := append([]int64{}, g.atUnix...)
+	scatterSortColumnsByDay(dayCounts, epoch, &creator, &receiver, &atUnix)
+	if !reflect.DeepEqual(creator, wc) || !reflect.DeepEqual(receiver, wr) || !reflect.DeepEqual(atUnix, wa) {
+		t.Errorf("boundary scatter:\n got %v %v %v\nwant %v %v %v", creator, receiver, atUnix, wc, wr, wa)
 	}
 }
 

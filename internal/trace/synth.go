@@ -144,6 +144,20 @@ func (c SynthConfig) Validate() error {
 // Synthesize generates a dataset from the configuration. Generation is
 // deterministic for a given config.
 func Synthesize(cfg SynthConfig) (*Dataset, error) {
+	d, err := synthesizeColumns(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.Reindex()
+	return d, nil
+}
+
+// synthesizeColumns is Synthesize without the final index build: the
+// returned dataset has its columns in stable timestamp order but no CSR
+// indexes or derived columns. Callers that immediately filter the dataset
+// (SynthesizeCalibrated) go through this entry so the pre-filter indexes —
+// which the filter's own Reindex would discard wholesale — are never built.
+func synthesizeColumns(cfg SynthConfig) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -198,9 +212,9 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 	// equal seconds keep generation order, which the CSR build preserves per
 	// user. Pinned by TestQuickScatterSortMatchesStableSort.
 	counting := useCountingSort(total, span)
-	var hist []int32
+	var dayCounts []int32
 	if counting {
-		hist = make([]int32, span)
+		dayCounts = make([]int32, cfg.Days)
 	}
 	creator := make([]socialgraph.UserID, total)
 	receiver := make([]socialgraph.UserID, total)
@@ -224,16 +238,18 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 			at := epochUnix + int64(day)*24*3600 + int64(minute)*60 + int64(rng.Intn(60))
 			creator[pos], receiver[pos], atUnix[pos] = socialgraph.UserID(u), recv, at
 			if counting {
-				hist[at-epochUnix]++
+				dayCounts[day]++
 			}
 			pos++
 		}
 	}
 	if counting {
-		scatterSortColumns(hist, epochUnix, &creator, &receiver, &atUnix)
+		scatterSortColumnsByDay(dayCounts, epochUnix, &creator, &receiver, &atUnix)
 	}
 	d.setColumns(creator, receiver, atUnix)
-	d.Reindex()
+	if !counting {
+		d.sortByTimestamp()
+	}
 	obsDatasets.Inc()
 	obsActivities.Add(int64(total))
 	return d, nil
@@ -252,58 +268,118 @@ func useCountingSort(n int, span int64) bool {
 	return span > 0 && span <= maxCountingSpan && span <= int64(n)*4
 }
 
-// scatterSortColumns brings generation-order columns into stable timestamp
-// order by one counting scatter per column. hist must hold, per second of
-// [epochUnix, epochUnix+span), the number of rows at that second. Scanning
-// rows in generation order makes the placement stable, and scattering one
-// column at a time — timestamps last, since they carry the scatter keys —
-// bounds the extra memory to a single replacement column plus two span-sized
-// cursor arrays, instead of a second full copy of the trace. The prefix-sum
-// cursors are int32 positions, safe because every construction path guards
+// daySeconds is the length of the synthetic day grid every timestamp is
+// generated on: at = epoch + day·daySeconds + second-of-day.
+const daySeconds = 24 * 3600
+
+// columnElem constrains the generic scatter helpers to the two element
+// types a dataset column stores.
+type columnElem interface {
+	socialgraph.UserID | int64
+}
+
+// partitionByDay stably scatters src into dst grouped by day. cur must hold
+// the running write cursor per day (a prefix sum over the per-day row
+// counts) and is consumed. The cursor array is one int32 per day — every
+// increment is L1-resident — and each day's region fills front to back, so
+// the writes form one sequential stream per day rather than random stores
+// across a span-sized histogram.
+func partitionByDay[T columnElem](src, dst []T, dayKey []uint8, cur []int32) {
+	for i, d := range dayKey {
+		p := cur[d]
+		cur[d] = p + 1
+		dst[p] = src[i]
+	}
+}
+
+// scatterWithinDays finishes one day-partitioned column: a stable counting
+// scatter by second-of-day inside each day's contiguous range, written back
+// into dst. sofd holds each row's second-of-day in partitioned order; hist
+// is a daySeconds-sized scratch reused across days — its 86400 int32
+// buckets stay cache-resident across a whole day's rows, which a per-second
+// full-span histogram cannot.
+func scatterWithinDays[T columnElem](dayCounts, sofd, hist []int32, src, dst []T) {
+	lo := int32(0)
+	for _, c := range dayCounts {
+		hi := lo + c
+		if c == 0 {
+			lo = hi
+			continue
+		}
+		clear(hist)
+		for _, k := range sofd[lo:hi] {
+			hist[k]++
+		}
+		pos := lo
+		for k, cnt := range hist {
+			hist[k] = pos
+			pos += cnt
+		}
+		for i := lo; i < hi; i++ {
+			k := sofd[i]
+			p := hist[k]
+			hist[k] = p + 1
+			dst[p] = src[i]
+		}
+		lo = hi
+	}
+}
+
+// scatterSortColumnsByDay brings generation-order columns into stable
+// timestamp order by a two-round counting scatter keyed on (day,
+// second-of-day). dayCounts must hold, per day of the horizon, the number
+// of rows generated on that day. Round one stably partitions a column by
+// day; round two finishes each day with a stable per-second counting
+// scatter. Stable on day then stable on second-of-day is stable on the full
+// timestamp, so ties keep generation order exactly as a single full-span
+// counting scatter would — the property every golden snapshot pins through
+// the CSR indexes (TestQuickScatterSortMatchesStableSort). Columns move one
+// at a time through two shared scratch columns, timestamps first since they
+// carry the keys, bounding extra memory to one replacement column of each
+// element size plus the two key columns. The counting-sort span cap
+// (16<<20 s ≈ 194 days) keeps every day index in a byte, and int32
+// positions are safe because every construction path guards
 // len(atUnix) <= MaxActivities first.
-func scatterSortColumns(hist []int32, epochUnix int64, creator, receiver *[]socialgraph.UserID, atUnix *[]int64) {
+func scatterSortColumnsByDay(dayCounts []int32, epochUnix int64, creator, receiver *[]socialgraph.UserID, atUnix *[]int64) {
 	ts := *atUnix
 	n := len(ts)
-	cur := make([]int32, len(hist))
-	reset := func() {
+
+	dayKey := make([]uint8, n)
+	for i, t := range ts {
+		//dosn:boundschecked useCountingSort caps the span at 16<<20 s ≈ 194 days, so day < 256
+		dayKey[i] = uint8((t - epochUnix) / daySeconds)
+	}
+	cur := make([]int32, len(dayCounts))
+	resetDays := func() {
 		pos := int32(0)
-		for k, c := range hist {
-			cur[k] = pos
+		for d, c := range dayCounts {
+			cur[d] = pos
 			pos += c
 		}
 	}
 
-	reset()
-	c2 := make([]socialgraph.UserID, n)
-	src := *creator
-	for i, t := range ts {
-		k := t - epochUnix
-		p := cur[k]
-		cur[k] = p + 1
-		c2[p] = src[i]
-	}
-	*creator = c2 // generation-order creator column is now collectible
-
-	reset()
-	r2 := make([]socialgraph.UserID, n)
-	src = *receiver
-	for i, t := range ts {
-		k := t - epochUnix
-		p := cur[k]
-		cur[k] = p + 1
-		r2[p] = src[i]
-	}
-	*receiver = r2
-
-	reset()
+	// Timestamps first: their partitioned order defines the second-of-day
+	// key column that the other columns replay.
+	resetDays()
 	t2 := make([]int64, n)
-	for _, t := range ts {
-		k := t - epochUnix
-		p := cur[k]
-		cur[k] = p + 1
-		t2[p] = t
+	partitionByDay(ts, t2, dayKey, cur)
+	sofd := make([]int32, n)
+	for i, t := range t2 {
+		//dosn:boundschecked x % daySeconds is < 86400 for the non-negative synthetic offsets
+		sofd[i] = int32((t - epochUnix) % daySeconds)
 	}
-	*atUnix = t2
+	hist := make([]int32, daySeconds)
+	scatterWithinDays(dayCounts, sofd, hist, t2, ts)
+	t2 = nil // partitioned timestamp copy is now collectible
+
+	u2 := make([]socialgraph.UserID, n)
+	resetDays()
+	partitionByDay(*creator, u2, dayKey, cur)
+	scatterWithinDays(dayCounts, sofd, hist, u2, *creator)
+
+	resetDays()
+	partitionByDay(*receiver, u2, dayKey, cur)
+	scatterWithinDays(dayCounts, sofd, hist, u2, *receiver)
 }
 
 // permInto is rand.Perm writing into a reusable scratch buffer: the same
@@ -425,17 +501,64 @@ func wrapMinute(m int) int {
 	return m
 }
 
+// zipfGridBuckets is the quantile-grid resolution of a zipfTable. A power
+// of two, so j/zipfGridBuckets is exact in float64 and the grid-bucket
+// bounds below hold with equality-safe rounding.
+const zipfGridBuckets = 64
+
+// zipfTable memoizes one list length: the cumulative weights and a quantile
+// start grid. grid[j] is SearchFloat64s(cum, (j/zipfGridBuckets)·total) —
+// for any draw u in bucket j (j = ⌊u·zipfGridBuckets⌋), the searched rank
+// lies in [grid[j], grid[j+1]], because u ↦ u·total and x ↦ search index
+// are both monotone under IEEE rounding. The grid shrinks the per-draw
+// binary search from log₂(n) probes over the whole array to a couple of
+// probes inside one bucket.
+type zipfTable struct {
+	cum  []float64
+	grid [zipfGridBuckets + 1]int32
+}
+
 // zipfSampler draws ranks in [0, n) with probability ∝ 1/(rank+1)^s,
-// memoizing the cumulative weights per list length.
+// memoizing one table per list length with a one-entry last-length cache in
+// front: the synthesizer draws every activity of a user against the same
+// list length, so the map is touched at most once per user rather than once
+// per draw.
 type zipfSampler struct {
-	s   float64
-	cum map[int][]float64
+	s      float64
+	tables map[int]*zipfTable
+	lastN  int
+	last   *zipfTable
 }
 
 func newZipfSampler(s float64) *zipfSampler {
-	return &zipfSampler{s: s, cum: make(map[int][]float64)}
+	return &zipfSampler{s: s, tables: make(map[int]*zipfTable)}
 }
 
+func (z *zipfSampler) tableFor(n int) *zipfTable {
+	t, ok := z.tables[n]
+	if ok {
+		return t
+	}
+	t = &zipfTable{cum: make([]float64, n)}
+	acc := 0.0
+	for r := 0; r < n; r++ {
+		acc += math.Pow(float64(r+1), -z.s)
+		t.cum[r] = acc
+	}
+	total := t.cum[n-1]
+	for j := 0; j <= zipfGridBuckets; j++ {
+		q := float64(j) / zipfGridBuckets
+		//dosn:boundschecked search index is ≤ n ≤ the graph's user count, far under int32
+		t.grid[j] = int32(sort.SearchFloat64s(t.cum, q*total))
+	}
+	z.tables[n] = t
+	return t
+}
+
+// rank returns exactly the index SearchFloat64s(cum, u·total) would — the
+// grid only narrows the search range, never changes its result — so every
+// receiver choice, and with it every golden dataset, is bit-identical to
+// the ungridded search this replaces.
 func (z *zipfSampler) rank(rng *rand.Rand, n int) int {
 	if n <= 1 {
 		return 0
@@ -443,18 +566,23 @@ func (z *zipfSampler) rank(rng *rand.Rand, n int) int {
 	if z.s <= 0 {
 		return rng.Intn(n)
 	}
-	cum, ok := z.cum[n]
-	if !ok {
-		cum = make([]float64, n)
-		acc := 0.0
-		for r := 0; r < n; r++ {
-			acc += math.Pow(float64(r+1), -z.s)
-			cum[r] = acc
-		}
-		z.cum[n] = cum
+	t := z.last
+	if n != z.lastN {
+		t = z.tableFor(n)
+		z.last, z.lastN = t, n
 	}
-	x := rng.Float64() * cum[n-1]
-	lo := sort.SearchFloat64s(cum, x)
+	u := rng.Float64()
+	x := u * t.cum[n-1]
+	j := int(u * zipfGridBuckets)
+	lo, hi := int(t.grid[j]), int(t.grid[j+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if lo >= n {
 		lo = n - 1
 	}
@@ -494,15 +622,22 @@ func SynthesizeCalibrated(name string, users int, seed int64, minActivity int) (
 		return nil, fmt.Errorf("trace: unknown calibrated dataset %q (facebook|twitter)", name)
 	}
 	cfg.Seed = seed
-	d, err := Synthesize(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("trace: synthesize %s: %w", name, err)
-	}
 	if minActivity == 0 {
 		minActivity = PaperMinActivity
 	}
-	if minActivity > 0 {
-		d = d.FilterMinActivity(minActivity)
+	if minActivity <= 0 {
+		d, err := Synthesize(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace: synthesize %s: %w", name, err)
+		}
+		return d, nil
 	}
-	return d, nil
+	// The filter rebuilds every index on the filtered columns, so the
+	// pre-filter dataset is synthesized without indexes: same columns, same
+	// filtered result, one CSR build instead of two.
+	d, err := synthesizeColumns(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("trace: synthesize %s: %w", name, err)
+	}
+	return d.FilterMinActivity(minActivity), nil
 }

@@ -74,7 +74,6 @@ func MinuteOfDay(t time.Time) int {
 // timestamp, in [0, 1440), agreeing with MinuteOfDay(time.Unix(sec, 0)) for
 // every sec, including instants before 1970.
 func minuteOfDayUnix(sec int64) int {
-	const daySeconds = 24 * 60 * 60
 	s := sec % daySeconds
 	if s < 0 {
 		s += daySeconds
@@ -103,6 +102,13 @@ type Dataset struct {
 	createdIdx  []int32
 	receivedOff []int32
 	receivedIdx []int32
+
+	// minOfDay caches minuteOfDayUnix(atUnix[i]) as a 2-byte column, rebuilt
+	// by Reindex alongside the CSR indexes. Schedule builds and sweeps probe
+	// minutes through CSR indices — random accesses that touch 2 bytes here
+	// instead of 8 in atUnix, a 4x cut of the cache-miss footprint on the
+	// hottest dataset read path.
+	minOfDay []uint16
 }
 
 // NumActivities returns the number of activities in the trace.
@@ -129,10 +135,17 @@ func (d *Dataset) ReceiverAt(i int) socialgraph.UserID { return d.receiver[i] }
 func (d *Dataset) UnixAt(i int) int64 { return d.atUnix[i] }
 
 // MinuteOfDayAt returns the minute-of-day of activity i without materializing
-// a time.Time.
+// a time.Time. After Reindex it reads the cached 2-byte column; on a
+// hand-built dataset that has not been reindexed it falls back to computing
+// from the timestamp.
 //
 //dosn:hotpath
-func (d *Dataset) MinuteOfDayAt(i int) int { return minuteOfDayUnix(d.atUnix[i]) }
+func (d *Dataset) MinuteOfDayAt(i int) int {
+	if i < len(d.minOfDay) {
+		return int(d.minOfDay[i])
+	}
+	return minuteOfDayUnix(d.atUnix[i])
+}
 
 // Rows materializes the whole trace as activity rows in column order. It is
 // the row<->column conversion boundary for serialization and tests; sweeps
@@ -181,10 +194,12 @@ func (d *Dataset) setColumns(creator, receiver []socialgraph.UserID, atUnix []in
 	d.invalidate()
 }
 
-// invalidate drops the CSR indexes after a column mutation.
+// invalidate drops the CSR indexes and derived columns after a column
+// mutation.
 func (d *Dataset) invalidate() {
 	d.createdOff, d.createdIdx = nil, nil
 	d.receivedOff, d.receivedIdx = nil, nil
+	d.minOfDay = nil
 }
 
 // Reindex sorts the activities by timestamp (stable, preserving insertion
@@ -207,6 +222,14 @@ func (d *Dataset) Reindex() {
 	n := d.Graph.NumUsers()
 	d.createdOff, d.createdIdx = buildCSR(d.creator, n, d.createdOff, d.createdIdx)
 	d.receivedOff, d.receivedIdx = buildCSR(d.receiver, n, d.receivedOff, d.receivedIdx)
+	if cap(d.minOfDay) >= len(d.atUnix) {
+		d.minOfDay = d.minOfDay[:len(d.atUnix)]
+	} else {
+		d.minOfDay = make([]uint16, len(d.atUnix))
+	}
+	for i, sec := range d.atUnix {
+		d.minOfDay[i] = uint16(minuteOfDayUnix(sec))
+	}
 }
 
 // sortByTimestamp stably sorts the three columns by atUnix. Already-sorted
@@ -502,11 +525,20 @@ func (d *Dataset) TimeBounds() (from, to time.Time, ok bool) {
 // FilterMinActivity returns a new dataset keeping only users that created at
 // least min activities (the paper keeps users with ≥10 wall posts/tweets),
 // with the graph reduced to the induced subgraph on kept users, user IDs
-// remapped densely, and activities between dropped users removed.
+// remapped densely, and activities between dropped users removed. Created
+// counts come from one pass over the creator column rather than the CSR
+// index, so the filter also accepts a dataset whose indexes were never
+// built — the synthesis fast path that skips the pre-filter Reindex.
 func (d *Dataset) FilterMinActivity(min int) *Dataset {
+	counts := make([]int32, d.NumUsers())
+	for _, u := range d.creator {
+		if u >= 0 && int(u) < len(counts) {
+			counts[u]++
+		}
+	}
 	var kept []socialgraph.UserID
-	for u := 0; u < d.NumUsers(); u++ {
-		if d.CreatedCount(socialgraph.UserID(u)) >= min {
+	for u, c := range counts {
+		if int(c) >= min {
 			kept = append(kept, socialgraph.UserID(u))
 		}
 	}
@@ -560,6 +592,7 @@ func (d *Dataset) MemoryBytes() int {
 	b := (cap(d.creator) + cap(d.receiver)) * idBytes
 	b += cap(d.atUnix) * tsBytes
 	b += (cap(d.createdOff) + cap(d.createdIdx) + cap(d.receivedOff) + cap(d.receivedIdx)) * 4
+	b += cap(d.minOfDay) * 2
 	if d.Graph != nil {
 		b += d.Graph.MemoryBytes()
 	}
