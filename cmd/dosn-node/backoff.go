@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// syncBackoff schedules retries for one peer's anti-entropy sync: capped
+// exponential delay between consecutive failures, reset on success, and a
+// terminal error once a configured number of consecutive attempts all fail.
+// Time is passed in as a monotonic elapsed duration (the caller reads an
+// obs.Watch) rather than read from a clock, so tests drive it synthetically.
+type syncBackoff struct {
+	base        time.Duration // first-retry delay; doubles per failure
+	ceiling     time.Duration // delay cap
+	maxAttempts int           // consecutive failures before giving up; 0 = never
+	failures    int
+	notBefore   time.Duration // earliest now at which the next attempt may run
+}
+
+// defaultSyncCeiling bounds the retry delay: a long-dead peer is re-probed
+// at least this often instead of backing off into hours.
+const defaultSyncCeiling = time.Minute
+
+func newSyncBackoff(base time.Duration, maxAttempts int) *syncBackoff {
+	if base <= 0 {
+		base = time.Second
+	}
+	return &syncBackoff{base: base, ceiling: defaultSyncCeiling, maxAttempts: maxAttempts}
+}
+
+// ready reports whether the peer may be attempted at elapsed time now.
+func (b *syncBackoff) ready(now time.Duration) bool {
+	return now >= b.notBefore
+}
+
+// success resets the failure streak; the next tick attempts immediately.
+func (b *syncBackoff) success() {
+	b.failures = 0
+	b.notBefore = 0
+}
+
+// failure records one failed attempt at elapsed time now. It returns the
+// delay before the next attempt, or an error once maxAttempts consecutive
+// attempts have failed — the caller's signal to stop retrying this peer.
+func (b *syncBackoff) failure(now time.Duration) (time.Duration, error) {
+	b.failures++
+	if b.maxAttempts > 0 && b.failures >= b.maxAttempts {
+		return 0, fmt.Errorf("%d consecutive sync failures (max %d)", b.failures, b.maxAttempts)
+	}
+	delay := b.base
+	// Shift with a cap check per doubling: delay saturates at the ceiling
+	// instead of overflowing for long failure streaks.
+	for i := 1; i < b.failures && delay < b.ceiling; i++ {
+		delay <<= 1
+	}
+	if delay > b.ceiling {
+		delay = b.ceiling
+	}
+	b.notBefore = now + delay
+	return delay, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The fake clock is just a duration variable: syncBackoff takes "now" as an
+// argument (production reads an obs.Watch), so tests advance time by
+// arithmetic, no sleeping.
+
+func TestBackoffDelaysDoubleAndCap(t *testing.T) {
+	b := newSyncBackoff(time.Second, 0)
+	now := time.Duration(0)
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 32 * time.Second, time.Minute, time.Minute,
+	}
+	for i, w := range want {
+		d, err := b.failure(now)
+		if err != nil {
+			t.Fatalf("failure %d: unexpected terminal error %v", i, err)
+		}
+		if d != w {
+			t.Fatalf("failure %d: delay %v, want %v", i, d, w)
+		}
+		if b.ready(now) {
+			t.Fatalf("failure %d: peer ready immediately after failing", i)
+		}
+		if !b.ready(now + d) {
+			t.Fatalf("failure %d: peer not ready after its %v delay", i, d)
+		}
+		now += d
+	}
+}
+
+func TestBackoffNoOverflowOnLongStreaks(t *testing.T) {
+	b := newSyncBackoff(time.Second, 0)
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		d, err := b.failure(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 || d > defaultSyncCeiling {
+			t.Fatalf("failure %d: delay %v escaped (0, %v]", i, d, defaultSyncCeiling)
+		}
+		now += d
+	}
+}
+
+func TestBackoffSuccessResetsStreak(t *testing.T) {
+	b := newSyncBackoff(time.Second, 5)
+	now := 10 * time.Second
+	for i := 0; i < 3; i++ {
+		if _, err := b.failure(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.success()
+	if !b.ready(now) {
+		t.Fatal("peer not immediately ready after success")
+	}
+	if d, err := b.failure(now); err != nil || d != time.Second {
+		t.Fatalf("first failure after success: delay %v err %v, want 1s nil", d, err)
+	}
+}
+
+func TestBackoffMaxAttemptsTerminal(t *testing.T) {
+	b := newSyncBackoff(time.Second, 3)
+	now := time.Duration(0)
+	for i := 0; i < 2; i++ {
+		if _, err := b.failure(now); err != nil {
+			t.Fatalf("attempt %d already terminal: %v", i+1, err)
+		}
+	}
+	_, err := b.failure(now)
+	if err == nil {
+		t.Fatal("third consecutive failure not terminal with maxAttempts=3")
+	}
+	if !strings.Contains(err.Error(), "3 consecutive sync failures") {
+		t.Fatalf("terminal error not self-describing: %v", err)
+	}
+}
+
+func TestBackoffZeroBaseDefaults(t *testing.T) {
+	b := newSyncBackoff(0, 0)
+	if d, err := b.failure(0); err != nil || d != time.Second {
+		t.Fatalf("default base: delay %v err %v, want 1s nil", d, err)
+	}
+}

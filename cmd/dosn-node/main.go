@@ -66,6 +66,8 @@ func run() error {
 		posts     = flag.String("post", "", "posts to author, 'wall:text' separated by ';'")
 		fields    = flag.String("field", "", "profile fields to set, 'wall:name=value' separated by ';'")
 		syncEvery = flag.Duration("sync-every", 2*time.Second, "peer sync interval")
+		syncBase  = flag.Duration("sync-backoff", time.Second, "first retry delay after a failed peer sync (doubles per consecutive failure, capped at 1m)")
+		syncMax   = flag.Int("sync-max-attempts", 0, "consecutive sync failures per peer before the node exits with an error (0 = retry forever)")
 		duration  = flag.Duration("duration", 10*time.Second, "how long to run (0 = until interrupt)")
 		show      = flag.String("show", "", "wall ID to print at exit")
 		timeline  = flag.Int("timeline", 0, "print the n newest feed items across hosted walls at exit")
@@ -127,11 +129,18 @@ func run() error {
 	fmt.Printf("node %d listening on %s, hosting walls %v\n", *id, addr, st.Walls())
 
 	var peerList []string
+	backoffs := make(map[string]*syncBackoff)
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
-			peerList = append(peerList, strings.TrimSpace(p))
+			p = strings.TrimSpace(p)
+			peerList = append(peerList, p)
+			backoffs[p] = newSyncBackoff(*syncBase, *syncMax)
 		}
 	}
+	// The backoff clock: a monotonic stopwatch, read as elapsed durations so
+	// syncBackoff itself never touches the wall clock (tests drive it with
+	// synthetic values).
+	watch := obs.StartWatch()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -147,11 +156,20 @@ loop:
 		select {
 		case <-ticker.C:
 			for _, p := range peerList {
+				bo := backoffs[p]
+				if !bo.ready(watch.Elapsed()) {
+					continue // still backing off from the last failure
+				}
 				stats, err := wire.Sync(p, st)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "sync %s: %v (will retry)\n", p, err)
+					delay, terminal := bo.failure(watch.Elapsed())
+					if terminal != nil {
+						return fmt.Errorf("sync %s: %w (last error: %v)", p, terminal, err)
+					}
+					fmt.Fprintf(os.Stderr, "sync %s: %v (retry in %v)\n", p, err, delay)
 					continue
 				}
+				bo.success()
 				if stats.Pulled+stats.Pushed > 0 {
 					fmt.Printf("sync %s: pulled %d, pushed %d posts\n", p, stats.Pulled, stats.Pushed)
 				}

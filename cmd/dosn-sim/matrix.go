@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dosn"
+	"dosn/internal/fault"
 	"dosn/internal/harness"
 	"dosn/internal/obs"
 	"dosn/internal/obs/prof"
@@ -43,6 +44,11 @@ func runMatrix(args []string) error {
 		progress   = fs.Bool("progress", false, "live single-line progress on stderr (cells done, current phase, ETA, heap); replaces per-cell lines")
 		debugAddr  = fs.String("debug-addr", "", "serve the debug HTTP endpoint (pprof, expvar with obs counters) on this address for the duration of the run")
 		noPrefetch = fs.Bool("no-prefetch", false, "disable cell prefetching and repetition pipelining (serial reference execution); never affects results")
+		checkpoint = fs.String("checkpoint", "", "append each completed cell to a crash-safe JSONL journal at this path (fsync per cell)")
+		resume     = fs.Bool("resume", false, "restore completed cells from the -checkpoint journal; the resumed manifest is byte-identical to an uninterrupted run")
+		maxRetries = fs.Int("max-retries", 0, "rerun a failed cell (error, panic, or timeout) up to this many times; never affects results")
+		retryWait  = fs.Duration("retry-backoff", 0, "delay before the first cell retry, doubling per attempt, capped at 5s (0 = 50ms)")
+		cellLimit  = fs.Duration("cell-timeout", 0, "per-attempt cell watchdog; a cell exceeding it counts as failed (0 = off)")
 	)
 	var pf prof.Flags
 	pf.Register(fs)
@@ -58,9 +64,20 @@ func runMatrix(args []string) error {
 		return err
 	}
 
+	// Failpoints arm only when the environment asks: production runs pay one
+	// atomic load per site and take no fault branches.
+	if on, err := fault.EnableFromEnv(os.Getenv(fault.EnvVar)); err != nil {
+		return fmt.Errorf("%s: %w", fault.EnvVar, err)
+	} else if on && !*quiet {
+		fmt.Fprintf(os.Stderr, "matrix: fault injection armed from %s\n", fault.EnvVar)
+	}
+
 	spec, err := buildMatrixSpec(*scale, *datasets, *models, *modes, *policies, *maxDegree, *userDegree, *repeats, *rootSeed)
 	if err != nil {
 		return err
+	}
+	if *resume && *checkpoint == "" {
+		return errors.New("-resume requires -checkpoint")
 	}
 	spec.RingBits = *ringBits
 	for _, name := range splitList(*archs) {
@@ -125,7 +142,11 @@ func runMatrix(args []string) error {
 	if *shardSize < 0 {
 		return fmt.Errorf("-shard-size must be >= 0, got %d", *shardSize)
 	}
-	opts := harness.RunOptions{Workers: *workers, ShardSize: *shardSize, NoPrefetch: *noPrefetch, Telemetry: collector}
+	opts := harness.RunOptions{
+		Workers: *workers, ShardSize: *shardSize, NoPrefetch: *noPrefetch, Telemetry: collector,
+		MaxRetries: *maxRetries, RetryBackoff: *retryWait, CellTimeout: *cellLimit,
+		CheckpointPath: *checkpoint, Resume: *resume,
+	}
 	switch {
 	case *progress:
 		// The live line owns stderr; per-cell lines would tear it.

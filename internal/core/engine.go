@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"dosn/internal/fault"
 	"dosn/internal/interval"
 	"dosn/internal/metrics"
 	"dosn/internal/obs"
@@ -39,6 +41,15 @@ var (
 	obsUsersSwept      = obs.C("core.sweep_users")
 	obsRNGSeeded       = obs.C("core.rng_seeded")
 	obsTablesPipelined = obs.C("core.tables_pipelined")
+)
+
+// Failpoints on the sweep's fragile seams (see internal/fault): disabled
+// they are one atomic load each, armed they let chaos tests kill a shard
+// dispatch, a worker mid-chunk, or a reduce step deterministically.
+var (
+	faultSweepShard = fault.NewSite("core.sweep-shard")
+	faultSweepChunk = fault.NewSite("core.sweep-chunk")
+	faultReduce     = fault.NewSite("core.reduce")
 )
 
 // Metric identifies one of the efficiency metrics a sweep records.
@@ -272,8 +283,11 @@ func Run(cfg Config) (*Result, error) {
 	// Repetition pipeline: while repetition r sweeps, the schedule table of
 	// repetition r+1 builds in the background (one table in flight). Each
 	// repetition's RNG stream is seeded independently by (Seed, rep), so
-	// build order cannot change a byte; grids still merge in rep order.
-	var next chan *onlinetime.Table
+	// build order cannot change a byte; grids still merge in rep order. A
+	// panic inside the pipelined build is recovered at the goroutine
+	// boundary and delivered through the channel as this repetition's error
+	// — a crashing build must fail the sweep, never the process.
+	var next chan builtTable
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		var table *onlinetime.Table
 		switch {
@@ -282,12 +296,16 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.Obs != nil {
 				sw = obs.StartWatch()
 			}
-			table = <-next
+			bt := <-next
 			next = nil
 			if cfg.Obs != nil {
 				// Stall: sweep r-1 finished before table r was ready.
 				cfg.Obs.AddPhaseNS("pipeline-stall", sw.ElapsedNS())
 			}
+			if bt.err != nil {
+				return nil, bt.err
+			}
+			table = bt.t
 		case cfg.providedTable(rep) != nil:
 			table = cfg.providedTable(rep)
 		default:
@@ -301,8 +319,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		if !cfg.NoPipeline && rep+1 < cfg.Repeats && cfg.providedTable(rep+1) == nil {
-			next = make(chan *onlinetime.Table, 1)
-			go func(rep int, out chan<- *onlinetime.Table) {
+			next = make(chan builtTable, 1)
+			go func(rep int, out chan<- builtTable) {
+				defer func() {
+					//dosn:recover pipelined-build boundary: a panic while prebuilding the next repetition's table becomes that repetition's error via the channel
+					if r := recover(); r != nil {
+						out <- builtTable{err: fault.PanicError("core: pipelined schedule build", r, debug.Stack())}
+					}
+				}()
 				var sw obs.Watch
 				if cfg.Obs != nil {
 					sw = obs.StartWatch()
@@ -312,13 +336,23 @@ func Run(cfg Config) (*Result, error) {
 					cfg.Obs.AddPhaseNS("schedule-build", sw.ElapsedNS())
 				}
 				obsTablesPipelined.Inc()
-				out <- t
+				out <- builtTable{t: t}
 			}(rep+1, next)
 		}
-		grid := sweepOnce(cfg, table, rep)
+		grid, err := sweepOnce(cfg, table, rep)
+		if err != nil {
+			return nil, err
+		}
 		mergeGrids(res.Cells, grid)
 	}
 	return res, nil
+}
+
+// builtTable is the repetition pipeline's channel payload: the prebuilt
+// table, or the error a recovered build panic was converted into.
+type builtTable struct {
+	t   *onlinetime.Table
+	err error
 }
 
 // providedTable returns the caller-supplied schedule table for a repetition,
@@ -383,8 +417,12 @@ const sweepChunkSize = 16
 // sweepScratch, so the per-user metric accumulation allocates nothing
 // beyond the policy selections.
 //
+// A worker that panics (a policy bug, an injected fault) is recovered at
+// its goroutine boundary and surfaces as this sweep's error; the remaining
+// workers drain their claimed chunks and stop.
+//
 //dosn:hotpath
-func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
+func sweepOnce(cfg Config, table *onlinetime.Table, rep int) ([][]Cell, error) {
 	bitmaps := table.Bitmaps()
 	var sets []interval.Set
 	for _, p := range cfg.Policies {
@@ -403,6 +441,9 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 	chunkGrids := make([][][]Cell, min(batchChunks, nChunks))
 	for cs := 0; cs < nChunks; cs += batchChunks {
 		ce := min(cs+batchChunks, nChunks)
+		if err := faultSweepShard.InjectSeeded(mix(cfg.Seed, int64(rep), int64(cs))); err != nil {
+			return nil, err
+		}
 		b := sweepBatch{
 			cfg:     cfg,
 			sets:    sets,
@@ -430,6 +471,12 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 			cfg.Obs.AddPhaseNS("sweep-shards", sw.ElapsedNS())
 			sw = obs.StartWatch()
 		}
+		if err := b.takeErr(); err != nil {
+			return nil, err
+		}
+		if err := faultReduce.InjectSeeded(mix(cfg.Seed, int64(rep), int64(cs))); err != nil {
+			return nil, err
+		}
 
 		for i, g := range b.batch {
 			mergeGrids(grid, g)
@@ -439,7 +486,7 @@ func sweepOnce(cfg Config, table *onlinetime.Table, rep int) [][]Cell {
 			cfg.Obs.AddPhaseNS("reduce", sw.ElapsedNS())
 		}
 	}
-	return grid
+	return grid, nil
 }
 
 // sweepBatch is the shared state of one chunk batch's worker pool. The
@@ -455,19 +502,59 @@ type sweepBatch struct {
 	batch   [][][]Cell
 	next    atomic.Int64
 	wg      sync.WaitGroup
+
+	// failed flags a worker failure so the remaining workers stop claiming
+	// chunks; err keeps the first failure (under errMu) for sweepOnce.
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+// setErr records the first worker failure and tells the other workers to
+// stop. Later failures are dropped: with one failure the whole repetition
+// is already void.
+func (b *sweepBatch) setErr(err error) {
+	b.errMu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.errMu.Unlock()
+	b.failed.Store(true)
+}
+
+// takeErr returns the first worker failure, if any. Called after wg.Wait,
+// so no worker is concurrently writing.
+func (b *sweepBatch) takeErr() error {
+	b.errMu.Lock()
+	defer b.errMu.Unlock()
+	return b.err
 }
 
 // run wraps one worker's chunk loop with busy-time accounting: when the
 // sweep carries a telemetry sink, each worker reports how long it spent in
 // its loop, which is what exposes shard imbalance (sum vs max busy time).
 // The watch reading goes only into obs — results never see it.
+//
+// It is also the sweep's panic isolation boundary: a panic anywhere in the
+// chunk loop — a policy bug, a metric edge case, an injected fault — is
+// recovered here and converted into the batch's error, so a crashing worker
+// fails its cell instead of killing the process (the busy-time accounting
+// still runs; the partially filled chunk grid is discarded with the batch).
 func (b *sweepBatch) run() {
 	defer b.wg.Done()
 	var busy obs.Watch
 	if b.cfg.Obs != nil {
 		busy = obs.StartWatch()
 	}
-	b.work()
+	func() {
+		defer func() {
+			//dosn:recover sweep-worker boundary: a panicking chunk becomes the batch's error instead of killing the process
+			if r := recover(); r != nil {
+				b.setErr(fault.PanicError("core: sweep worker", r, debug.Stack()))
+			}
+		}()
+		b.work()
+	}()
 	if b.cfg.Obs != nil {
 		b.cfg.Obs.WorkerBusy(busy.ElapsedNS())
 	}
@@ -484,7 +571,11 @@ func (b *sweepBatch) work() {
 	var scratch sweepScratch
 	for {
 		ci := int(b.next.Add(1))
-		if ci >= b.ce {
+		if ci >= b.ce || b.failed.Load() {
+			return
+		}
+		if err := faultSweepChunk.InjectSeeded(mix(b.cfg.Seed, int64(b.rep), int64(ci))); err != nil {
+			b.setErr(err)
 			return
 		}
 		lo := ci * sweepChunkSize

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+
+	"dosn/internal/fault"
+)
+
+// The checkpoint journal is an append-only JSONL file: one header line
+// followed by one line per completed cell, each fsync'd before the cell
+// counts as durable. A process killed mid-append leaves at most one
+// truncated trailing line, which resume tolerates (and truncates away before
+// appending again); any other damage — a corrupt interior line, a header
+// from a different spec — is an error, never a silent partial resume.
+const checkpointVersion = 1
+
+// faultCheckpointAppend fires on the durability path itself, keyed by cell
+// index, so chaos tests can model a full disk or a crash between a cell
+// finishing and its journal entry landing.
+var faultCheckpointAppend = fault.NewSite("harness.checkpoint-append")
+
+// checkpointHeader is the journal's first line. SpecHash pins the exact
+// filled spec: resuming a journal against any other spec would splice
+// foreign results into the manifest, so it is rejected outright.
+type checkpointHeader struct {
+	Version  int    `json:"version"`
+	SpecHash string `json:"spec_hash"`
+	Cells    int    `json:"cells"`
+}
+
+// checkpointEntry is one completed cell. Key is the cell's canonicalKey,
+// double-checking that Index still names the same coordinates on resume.
+type checkpointEntry struct {
+	Index  int        `json:"index"`
+	Key    string     `json:"key"`
+	Result CellResult `json:"result"`
+}
+
+// SpecHash is the canonical identity of a filled spec for checkpoint
+// matching: the SHA-256 of its canonical JSON encoding.
+func SpecHash(spec MatrixSpec) (string, error) {
+	b, err := json.Marshal(spec.fill())
+	if err != nil {
+		return "", fmt.Errorf("harness: hash spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// checkpoint appends completed cells to the journal under a lock (workers
+// finish concurrently) and fsyncs each line.
+type checkpoint struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openCheckpoint creates (or, with resume, reopens) the journal at path and
+// returns the restored results by cell index. A resume against a missing or
+// effectively-empty journal starts fresh — the first run crashed before the
+// header landed, or never ran — so `-resume` is always safe to pass.
+func openCheckpoint(path string, spec MatrixSpec, cells []CellSpec, resume bool) (*checkpoint, map[int]CellResult, error) {
+	hash, err := SpecHash(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	header := checkpointHeader{Version: checkpointVersion, SpecHash: hash, Cells: len(cells)}
+	if resume {
+		cp, restored, ok, err := reopenCheckpoint(path, header, cells)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return cp, restored, nil
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: create checkpoint: %w", err)
+	}
+	line, err := json.Marshal(header)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("harness: encode checkpoint header: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("harness: write checkpoint header: %w", err)
+	}
+	return &checkpoint{f: f}, map[int]CellResult{}, nil
+}
+
+// reopenCheckpoint loads an existing journal for resume. ok=false (with nil
+// error) means "nothing usable here, start fresh": the file is missing,
+// empty, or holds only a truncated header. Real mismatches — wrong spec
+// hash, wrong version, corrupt interior lines, entries that contradict the
+// cell enumeration — are errors.
+func reopenCheckpoint(path string, header checkpointHeader, cells []CellSpec) (*checkpoint, map[int]CellResult, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("harness: read checkpoint: %w", err)
+	}
+	lines, valid := journalLines(data)
+	if len(lines) == 0 {
+		return nil, nil, false, nil
+	}
+	var got checkpointHeader
+	if err := json.Unmarshal(lines[0], &got); err != nil {
+		if len(lines) == 1 {
+			// The only line is the damaged trailing one: the process died
+			// mid-header. Nothing was journaled; start fresh.
+			return nil, nil, false, nil
+		}
+		return nil, nil, false, fmt.Errorf("harness: checkpoint header corrupt: %w", err)
+	}
+	switch {
+	case got.Version != checkpointVersion:
+		return nil, nil, false, fmt.Errorf("harness: checkpoint version %d not supported (want %d)", got.Version, checkpointVersion)
+	case got.SpecHash != header.SpecHash:
+		return nil, nil, false, fmt.Errorf("harness: checkpoint was written by a different spec (journal spec hash %s, this run %s); resuming would splice foreign results — delete %s or rerun the original spec", got.SpecHash, header.SpecHash, path)
+	case got.Cells != header.Cells:
+		return nil, nil, false, fmt.Errorf("harness: checkpoint enumerates %d cells, this run %d", got.Cells, header.Cells)
+	}
+	restored := make(map[int]CellResult, len(lines)-1)
+	for _, line := range lines[1:] {
+		var e checkpointEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, nil, false, fmt.Errorf("harness: checkpoint entry corrupt: %w", err)
+		}
+		if e.Index < 0 || e.Index >= len(cells) || cells[e.Index].canonicalKey() != e.Key {
+			return nil, nil, false, fmt.Errorf("harness: checkpoint entry %d names cell %q, spec has %q", e.Index, e.Key, keyAt(cells, e.Index))
+		}
+		restored[e.Index] = e.Result
+	}
+	// Drop any damaged tail before appending, or the next entry would fuse
+	// with the partial line and corrupt the journal's interior.
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, nil, false, fmt.Errorf("harness: trim checkpoint tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("harness: reopen checkpoint: %w", err)
+	}
+	return &checkpoint{f: f}, restored, true, nil
+}
+
+// journalLines splits the raw journal into complete lines and returns the
+// byte offset up to which the file is intact. A final line without its
+// terminating newline is treated as a torn write and excluded — append
+// always writes the newline before fsync, so every durable line has one.
+func journalLines(data []byte) (lines [][]byte, valid int64) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn trailing line
+		}
+		lines = append(lines, data[:nl])
+		data = data[nl+1:]
+		valid += int64(nl) + 1
+	}
+	return lines, valid
+}
+
+func keyAt(cells []CellSpec, i int) string {
+	if i < 0 || i >= len(cells) {
+		return fmt.Sprintf("(no cell %d)", i)
+	}
+	return cells[i].canonicalKey()
+}
+
+// append journals one completed cell: entry line plus fsync, under the lock.
+// It carries its own panic boundary — it runs on the worker loop outside
+// runCellRecovered, and a panic here (injected fault, say) must surface as
+// the cell's error, not kill the process. The un-journaled cell simply
+// reruns on resume, which cannot change manifest bytes.
+func (c *checkpoint) append(index int, key string, res CellResult) (err error) {
+	defer func() {
+		//dosn:recover journal append runs outside the cell boundary; a panic here becomes the cell's error and the cell reruns on resume
+		if r := recover(); r != nil {
+			err = fault.PanicError("harness: checkpoint append", r, debug.Stack())
+		}
+	}()
+	if err := faultCheckpointAppend.InjectSeeded(int64(index)); err != nil {
+		return fmt.Errorf("harness: checkpoint append: %w", err)
+	}
+	line, err := json.Marshal(checkpointEntry{Index: index, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("harness: encode checkpoint entry: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("harness: write checkpoint entry: %w", err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("harness: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (c *checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.f.Close()
+}

@@ -1,0 +1,373 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dosn/internal/fault"
+)
+
+// crashSpec is a 4-cell matrix (1 dataset × 2 models × 2 modes) that crosses
+// every failpoint seam: synthesis, schedule build (with a cache hit), shard
+// dispatch, chunk sweep, reduce, checkpoint append, manifest write.
+func crashSpec() MatrixSpec {
+	return MatrixSpec{
+		Datasets:   []DatasetSpec{{Name: "facebook", Users: 300, Seed: 1}},
+		Models:     []ModelSpec{Sporadic(), FixedLength(2)},
+		Modes:      []string{"ConRep", "UnconRep"},
+		MaxDegree:  3,
+		UserDegree: 0,
+		Repeats:    2,
+		RootSeed:   7,
+	}
+}
+
+func withHarnessFaults(t *testing.T, spec string) {
+	t.Helper()
+	if err := fault.Enable(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disable)
+}
+
+func manifestBytes(t *testing.T, m *RunManifest) []byte {
+	t.Helper()
+	b, err := m.MarshalCanonical()
+	if err != nil {
+		t.Fatalf("MarshalCanonical: %v", err)
+	}
+	return b
+}
+
+// TestResumeByteIdenticalManifest is the kill-at-every-failpoint proof: for
+// each injection seam, in both panic and error form, a checkpointed run is
+// killed mid-matrix, then resumed with faults off — under a different worker
+// count and shard size — and the resumed manifest must match an
+// uninterrupted run byte for byte.
+func TestResumeByteIdenticalManifest(t *testing.T) {
+	spec := crashSpec()
+	cleanRun, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	clean := manifestBytes(t, cleanRun)
+
+	// Hit numbers are placed against the serial (Workers 1, no prefetch)
+	// execution order so several scenarios journal a non-empty prefix before
+	// dying: schedule-build hit 3 is the third repetition build (first cell
+	// of the second model), sweep-shard hit 5 is the third cell's first
+	// batch, checkpoint-append hit 3 kills the third cell's journal entry.
+	scenarios := []string{
+		"trace.synthesize=panic(1)",
+		"trace.synthesize=error(1)",
+		"harness.schedule-build=panic(3)",
+		"harness.schedule-build=error(3)",
+		"core.sweep-shard=panic(2)",
+		"core.sweep-shard=error(5)",
+		"core.sweep-chunk=panic(1)",
+		"core.sweep-chunk=error(1)",
+		"core.reduce=panic(1)",
+		"core.reduce=error(3)",
+		"harness.checkpoint-append=panic(2)",
+		"harness.checkpoint-append=error(3)",
+		"harness.manifest-write=error(1)",
+	}
+	for _, scenario := range scenarios {
+		t.Run(scenario, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			withHarnessFaults(t, scenario)
+			m, err := Run(spec, RunOptions{
+				Workers: 1, NoPrefetch: true, CheckpointPath: path,
+			})
+			if strings.HasPrefix(scenario, "harness.manifest-write") {
+				// The run itself completes; the fault fires on the encode.
+				if err != nil {
+					t.Fatalf("run failed before the manifest seam: %v", err)
+				}
+				if _, err := m.MarshalCanonical(); err == nil {
+					t.Fatal("manifest-write failpoint did not fire")
+				}
+			} else if err == nil {
+				t.Fatal("armed run completed; failpoint did not fire")
+			}
+			fault.Disable()
+
+			resumed, err := Run(spec, RunOptions{
+				Workers: 2, ShardSize: 64, CheckpointPath: path, Resume: true,
+			})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if !bytes.Equal(manifestBytes(t, resumed), clean) {
+				t.Error("resumed manifest differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestResumeRecomputesNothingWhenJournalComplete resumes a fully-journaled
+// run with every compute seam armed to fail on first hit: success proves the
+// restored cells never re-enter synthesis, schedule build, or the sweep.
+func TestResumeRecomputesNothingWhenJournalComplete(t *testing.T) {
+	spec := crashSpec()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	full, err := Run(spec, RunOptions{Workers: 2, CheckpointPath: path})
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	withHarnessFaults(t, "trace.synthesize=error(1);harness.schedule-build=error(1);core.sweep-shard=error(1);core.sweep-chunk=error(1)")
+	resumed, err := Run(spec, RunOptions{Workers: 2, CheckpointPath: path, Resume: true})
+	if err != nil {
+		t.Fatalf("complete-journal resume touched a compute seam: %v", err)
+	}
+	fault.Disable()
+	if !bytes.Equal(manifestBytes(t, resumed), manifestBytes(t, full)) {
+		t.Error("restored-only manifest differs")
+	}
+}
+
+// TestRetryRecoversTransientFault pins the per-cell retry: a one-shot
+// injected failure costs one attempt, and the retried run's manifest is
+// byte-identical to a fault-free run.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	spec := crashSpec()
+	cleanRun, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	for _, scenario := range []string{"core.sweep-chunk=error(1)", "core.sweep-chunk=panic(1)"} {
+		withHarnessFaults(t, scenario)
+		m, err := Run(spec, RunOptions{Workers: 2, MaxRetries: 1, RetryBackoff: time.Millisecond})
+		if err != nil {
+			t.Fatalf("%s: retry did not absorb a one-shot fault: %v", scenario, err)
+		}
+		fault.Disable()
+		if !bytes.Equal(manifestBytes(t, m), manifestBytes(t, cleanRun)) {
+			t.Errorf("%s: retried manifest differs from clean run", scenario)
+		}
+	}
+}
+
+// TestRetriesExhaustedSurfaceError: a fault that outlives the retry budget
+// still fails the run, with the injected site attached.
+func TestRetriesExhaustedSurfaceError(t *testing.T) {
+	spec := crashSpec()
+	withHarnessFaults(t, "core.sweep-chunk=error(p=1)")
+	_, err := Run(spec, RunOptions{Workers: 2, MaxRetries: 2, RetryBackoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("permanently-armed fault did not fail the run")
+	}
+	if inj, ok := fault.AsInjected(err); !ok || inj.Site != "core.sweep-chunk" {
+		t.Fatalf("error lost the injected site: %v", err)
+	}
+}
+
+// TestCellTimeoutWatchdog pins the per-attempt watchdog: a one-shot injected
+// stall times the attempt out, and a retry (the delay is spent) completes
+// with clean-run bytes.
+func TestCellTimeoutWatchdog(t *testing.T) {
+	spec := crashSpec()
+	withHarnessFaults(t, "trace.synthesize=delay(30s,1)")
+	_, err := Run(spec, RunOptions{
+		Workers: 1, NoPrefetch: true, CellTimeout: 100 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("stalled cell did not time out: %v", err)
+	}
+}
+
+// TestCheckpointRoundTripTruncationTolerance drives the journal's torn-write
+// contract with randomized truncation points: cutting any suffix of the file
+// must restore exactly the entries whose full line (newline included)
+// survived the cut — never an error, never a partial entry.
+func TestCheckpointRoundTripTruncationTolerance(t *testing.T) {
+	spec := crashSpec().fill()
+	cells := spec.Cells()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full.ckpt")
+	cp, restored, err := openCheckpoint(path, spec, cells, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("fresh journal restored %d cells", len(restored))
+	}
+	want := make(map[int]CellResult, len(cells))
+	for i, c := range cells {
+		res := CellResult{Dataset: c.Dataset.Name, Model: c.Model.Name(), Seed: int64(1000 + i),
+			Metrics: map[string][][]float64{"availability": {{float64(i)}}}}
+		if err := cp.append(i, c.canonicalKey(), res); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	cp.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, valid := journalLines(data)
+	if int(valid) != len(data) || len(lines) != len(cells)+1 {
+		t.Fatalf("journal shape: %d lines, %d/%d valid bytes", len(lines), valid, len(data))
+	}
+	headerEnd := len(lines[0]) + 1
+
+	tries := 0
+	prop := func(rawCut uint32) bool {
+		tries++
+		cut := headerEnd + int(rawCut)%(len(data)-headerEnd+1)
+		tpath := filepath.Join(dir, fmt.Sprintf("cut-%d.ckpt", tries))
+		if err := os.WriteFile(tpath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp, restored, err := openCheckpoint(tpath, spec, cells, true)
+		if err != nil {
+			t.Logf("cut %d: %v", cut, err)
+			return false
+		}
+		cp.Close()
+		// Expect exactly the entries whose complete line fits in the cut.
+		expect := 0
+		off := headerEnd
+		for _, l := range lines[1:] {
+			off += len(l) + 1
+			if off <= cut {
+				expect++
+			}
+		}
+		if len(restored) != expect {
+			t.Logf("cut %d restored %d entries, want %d", cut, len(restored), expect)
+			return false
+		}
+		for i, r := range restored {
+			if r.Seed != want[i].Seed {
+				t.Logf("cut %d: entry %d corrupted", cut, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointAppendAfterTornTailStaysParseable: resuming over a torn tail
+// must truncate it before appending, or the next entry fuses with the
+// partial line and corrupts the journal's interior for the run after.
+func TestCheckpointAppendAfterTornTailStaysParseable(t *testing.T) {
+	spec := crashSpec().fill()
+	cells := spec.Cells()
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	cp, _, err := openCheckpoint(path, spec, cells, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CellResult{Dataset: "facebook", Metrics: map[string][][]float64{}}
+	if err := cp.append(0, cells[0].canonicalKey(), res); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	data, _ := os.ReadFile(path)
+	// Tear the last entry mid-line.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, restored, err := openCheckpoint(path, spec, cells, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("torn entry restored: %v", restored)
+	}
+	if err := cp.append(1, cells[1].canonicalKey(), res); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	_, restored, err = openCheckpoint(path, spec, cells, true)
+	if err != nil {
+		t.Fatalf("journal corrupt after append-over-torn-tail: %v", err)
+	}
+	if len(restored) != 1 || restored[1].Dataset != "facebook" {
+		t.Fatalf("restored %v, want entry 1 only", restored)
+	}
+}
+
+// TestCheckpointRejectsInteriorCorruption: only the trailing line is
+// forgiven; a damaged interior line is an error, not a silent skip.
+func TestCheckpointRejectsInteriorCorruption(t *testing.T) {
+	spec := crashSpec().fill()
+	cells := spec.Cells()
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+	cp, _, err := openCheckpoint(path, spec, cells, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CellResult{Metrics: map[string][][]float64{}}
+	for i := 0; i < 2; i++ {
+		if err := cp.append(i, cells[i].canonicalKey(), res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp.Close()
+	data, _ := os.ReadFile(path)
+	lines, _ := journalLines(data)
+	// Smash the first entry's opening brace (an interior line): the line no
+	// longer parses, and it is not the trailing one, so no forgiveness.
+	data[len(lines[0])+1] = '#'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openCheckpoint(path, spec, cells, true); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
+// TestCheckpointRejectsSpecMismatch: a journal written by one spec must not
+// resume another, and the error must say why.
+func TestCheckpointRejectsSpecMismatch(t *testing.T) {
+	specA := crashSpec()
+	specB := crashSpec()
+	specB.RootSeed = 99
+	path := filepath.Join(t.TempDir(), "mismatch.ckpt")
+	cp, _, err := openCheckpoint(path, specA.fill(), specA.fill().Cells(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	_, err = Run(specB, RunOptions{Workers: 1, CheckpointPath: path, Resume: true})
+	if err == nil {
+		t.Fatal("foreign journal accepted for resume")
+	}
+	if !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("mismatch error not self-explanatory: %v", err)
+	}
+}
+
+// TestResumeWithMissingJournalStartsFresh: -resume is safe to pass
+// unconditionally; with nothing on disk the run simply starts over and
+// journals as it goes.
+func TestResumeWithMissingJournalStartsFresh(t *testing.T) {
+	spec := crashSpec()
+	path := filepath.Join(t.TempDir(), "fresh.ckpt")
+	m, err := Run(spec, RunOptions{Workers: 2, CheckpointPath: path, Resume: true})
+	if err != nil {
+		t.Fatalf("resume-from-nothing: %v", err)
+	}
+	clean, err := Run(spec, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(manifestBytes(t, m), manifestBytes(t, clean)) {
+		t.Error("fresh-start resume manifest differs")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal not written on fresh start: %v", err)
+	}
+}

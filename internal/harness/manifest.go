@@ -9,6 +9,7 @@ import (
 
 	"dosn/internal/core"
 	"dosn/internal/dht"
+	"dosn/internal/fault"
 )
 
 // ManifestVersion is the schema version stamped into emitted manifests.
@@ -154,16 +155,28 @@ func (m *RunManifest) CellWithArch(dataset, model, mode, arch string) (CellResul
 	return CellResult{}, false
 }
 
-// WriteJSON writes the manifest as indented canonical JSON.
+// faultManifestWrite models a failure at the very last step of a run — after
+// every cell has completed and been journaled — so recovery tests can prove a
+// resume recomputes nothing and still emits identical bytes.
+var faultManifestWrite = fault.NewSite("harness.manifest-write")
+
+// WriteJSON writes the manifest as indented canonical JSON (MarshalCanonical
+// plus a trailing newline — the two forms stay byte-compatible).
 func (m *RunManifest) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(m)
+	b, err := m.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // MarshalCanonical returns the indented canonical JSON bytes (the form
 // WriteJSON emits and the determinism tests compare).
 func (m *RunManifest) MarshalCanonical() ([]byte, error) {
+	if err := faultManifestWrite.Inject(); err != nil {
+		return nil, err
+	}
 	return json.MarshalIndent(m, "", "  ")
 }
 

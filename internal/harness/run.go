@@ -3,12 +3,14 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dosn/internal/core"
 	"dosn/internal/dht"
+	"dosn/internal/fault"
 	"dosn/internal/obs"
 	"dosn/internal/onlinetime"
 	"dosn/internal/replica"
@@ -24,7 +26,16 @@ var (
 	obsSchedHits       = obs.C("harness.schedule_cache_hits")
 	obsCellsPrefetched = obs.C("harness.cells_prefetched")
 	obsPrefetchHits    = obs.C("harness.schedule_prefetch_hits")
+	obsCellsRecovered  = obs.C("harness.cells_recovered")
+	obsCellsRetried    = obs.C("harness.cells_retried")
+	obsCellsResumed    = obs.C("harness.cells_resumed")
 )
+
+// faultScheduleBuild fires inside the shared schedule-cache compute, once per
+// repetition, keyed by the spec-derived schedule seed — so which repetition
+// fails under a probability trigger is invariant across worker counts and
+// across the prefetcher racing a cell to the same cache entry.
+var faultScheduleBuild = fault.NewSite("harness.schedule-build")
 
 // RunOptions tunes execution only; nothing here may change the results.
 type RunOptions struct {
@@ -59,6 +70,27 @@ type RunOptions struct {
 	// like Workers: manifests are byte-identical with or without it
 	// (pinned by TestTelemetryDoesNotPerturbManifest).
 	Telemetry *obs.Collector
+	// MaxRetries is how many times a failed cell attempt (error, panic, or
+	// timeout) is rerun before the failure is reported. Cell results are pure
+	// functions of (spec, seed), so retries cannot change manifest bytes —
+	// they only matter under transient faults (injected or environmental).
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt and is capped at 5s. Zero means 50ms.
+	RetryBackoff time.Duration
+	// CellTimeout bounds one cell attempt; on expiry the attempt counts as
+	// failed (and is retried under MaxRetries). The timed-out attempt's
+	// goroutine is abandoned — core has no cancellation plumbing — and its
+	// eventual result is discarded. Zero disables the watchdog.
+	CellTimeout time.Duration
+	// CheckpointPath, when set, appends every completed cell result to a
+	// crash-safe JSONL journal at this path (fsync per cell). A later run
+	// over the same spec with Resume set skips the journaled cells.
+	CheckpointPath string
+	// Resume restores completed cells from the CheckpointPath journal
+	// instead of recomputing them. The journal's spec hash must match; the
+	// resumed manifest is byte-identical to an uninterrupted run.
+	Resume bool
 }
 
 func (o RunOptions) fill(cells int) RunOptions {
@@ -90,24 +122,38 @@ func (o RunOptions) fill(cells int) RunOptions {
 }
 
 // lazy computes a value at most once; concurrent callers share the result.
+// Failures are NOT memoized: a compute that errors (an injected fault, say)
+// leaves the slot empty, so a retried cell reruns the pure computation
+// instead of replaying a stale error. The deferred unlock keeps the slot
+// usable when compute panics — the panic unwinds to the cell isolation
+// boundary, and the next caller recomputes.
 type lazy[T any] struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	val  T
-	err  error
 }
 
 func (l *lazy[T]) get(compute func() (T, error)) (T, error) {
-	l.once.Do(func() { l.val, l.err = compute() })
-	return l.val, l.err
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return l.val, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	l.val, l.done = v, true
+	return v, nil
 }
 
 // schedEntry is one (dataset, model) schedule-cache slot. Beyond the lazy
 // computation it tracks who touched it: requested flips when the first
-// *cell* (never the prefetcher) asks for it, which is what keeps the
-// manifest's ScheduleCacheHits — a count of cell-to-cell reuse — identical
-// whether or not the prefetcher populated the entry first; prefetched marks
-// entries the prefetcher warmed, feeding the execution-only
-// schedule_prefetch_hits counter.
+// *cell* (never the prefetcher) asks for it, so the schedule_cache_hits
+// counter measures cell-to-cell reuse regardless of whether the prefetcher
+// populated the entry first; prefetched marks entries the prefetcher warmed,
+// feeding the execution-only schedule_prefetch_hits counter.
 type schedEntry struct {
 	lazy[[]*onlinetime.Table]
 	requested  atomic.Bool
@@ -122,7 +168,6 @@ type caches struct {
 	datasets  map[string]*lazy[*trace.Dataset]
 	schedules map[string]*schedEntry
 	rings     map[string]*lazy[*dht.Ring]
-	schedHits atomic.Int64
 }
 
 func newCaches() *caches {
@@ -189,13 +234,15 @@ func buildDataset(d DatasetSpec) (*trace.Dataset, error) {
 // per-cell conversion. buildWorkers is the filling cell's core budget: the
 // parallel phase-2 row construction may use it freely because worker counts
 // never reach the table bytes. hit reports whether another *cell* already
-// requested the entry (the manifest's ScheduleCacheHits counts exactly that
-// cell-to-cell reuse — an entry the prefetcher warmed first is not a cache
-// hit, or the manifest bytes would depend on the prefetcher's timing).
+// requested the entry — cell-to-cell reuse, feeding execution-only telemetry
+// (an entry the prefetcher warmed first is not a hit). The manifest's
+// ScheduleCacheHits is NOT this measured count but the spec-derived
+// expectedScheduleHits: under resume or retry the measured count shifts
+// (restored cells never request; retried cells request twice) while the
+// manifest bytes must not.
 func (c *caches) schedulesFor(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds *trace.Dataset, model onlinetime.Model, buildWorkers int) (tables []*onlinetime.Table, hit bool, err error) {
 	entry := c.scheduleEntry(d.key() + "|" + m.key())
 	if hit = entry.requested.Swap(true); hit {
-		c.schedHits.Add(1)
 		obsSchedHits.Inc()
 	} else if entry.prefetched.Load() {
 		// Execution-only: first cell to need these schedules found them
@@ -214,6 +261,9 @@ func (c *caches) buildSchedules(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds 
 	return func() ([]*onlinetime.Table, error) {
 		out := make([]*onlinetime.Table, spec.Repeats)
 		for rep := range out {
+			if err := faultScheduleBuild.InjectSeeded(spec.scheduleSeed(d, m, rep)); err != nil {
+				return nil, err
+			}
 			rng := rand.New(rand.NewSource(spec.scheduleSeed(d, m, rep)))
 			out[rep] = model.BuildTable(ds, rng, buildWorkers)
 		}
@@ -225,8 +275,17 @@ func (c *caches) buildSchedules(spec MatrixSpec, d DatasetSpec, m ModelSpec, ds 
 // caches for one cell, exactly as the cell's worker would, without touching
 // the cache-hit accounting. Errors are deliberately dropped — the owning
 // cell will rerun the same lazy computation and surface the identical error
-// with its cell context attached.
+// with its cell context attached. Panics are dropped for the same reason:
+// the prefetcher is purely advisory, and a panicking warm compute (an
+// injected fault, say) must not kill the process when the owning cell would
+// reproduce and report the identical failure inside its isolation boundary.
 func (c *caches) warmCell(spec MatrixSpec, cell CellSpec, buildWorkers int) {
+	defer func() {
+		//dosn:recover advisory prefetch boundary: the owning cell reruns the same pure compute and reports the failure with cell context
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
 	ds, err := c.datasetEntry(cell.Dataset.key()).get(func() (*trace.Dataset, error) {
 		return buildDataset(cell.Dataset)
 	})
@@ -250,8 +309,10 @@ func (c *caches) warmCell(spec MatrixSpec, cell CellSpec, buildWorkers int) {
 // stays at most ONE cell ahead of the highest index any worker has claimed,
 // so peak memory grows by a single extra dataset+schedule set regardless of
 // matrix size. claims carries every claimed index and is closed once the
-// workers drain, which bounds the goroutine's lifetime to Run's.
-func prefetch(spec MatrixSpec, cells []CellSpec, opts RunOptions, shared *caches, claims <-chan int) {
+// workers drain, which bounds the goroutine's lifetime to Run's. restored
+// cells (checkpoint resume) are skipped: their results are already in hand,
+// so warming their caches would only burn memory ahead of need.
+func prefetch(spec MatrixSpec, cells []CellSpec, opts RunOptions, shared *caches, restored map[int]CellResult, claims <-chan int) {
 	maxClaimed := -1
 	pf := 0 // next cell index eligible for warming
 	for i := range claims {
@@ -264,7 +325,9 @@ func prefetch(spec MatrixSpec, cells []CellSpec, opts RunOptions, shared *caches
 			pf = maxClaimed + 1
 		}
 		if pf == maxClaimed+1 && pf < len(cells) {
-			shared.warmCell(spec, cells[pf], opts.CoreWorkers)
+			if _, ok := restored[pf]; !ok {
+				shared.warmCell(spec, cells[pf], opts.CoreWorkers)
+			}
 			pf++
 		}
 	}
@@ -297,6 +360,16 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 	shared := newCaches()
 	results := make([]CellResult, len(cells))
 	errs := make([]error, len(cells))
+	var cp *checkpoint
+	restored := map[int]CellResult{}
+	if opts.CheckpointPath != "" {
+		var err error
+		cp, restored, err = openCheckpoint(opts.CheckpointPath, spec, cells, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+	}
 	var next atomic.Int64
 	next.Store(-1)
 	// claims feeds the prefetcher: each claimed cell index, buffered so
@@ -322,11 +395,22 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 				}
 				//dosn:wallclock elapsed feeds only the Progress callback; results never read it
 				start := time.Now()
-				obsCellsStarted.Inc()
-				co := opts.Telemetry.StartCell(cells[i].Key(), w)
-				results[i], errs[i] = runCell(spec, cells[i], policies, opts, shared, co)
-				co.Done()
-				obsCellsDone.Inc()
+				if res, ok := restored[i]; ok {
+					// Checkpoint restore: the journaled result is the same
+					// pure function of (spec, seed) a recompute would
+					// produce, so slotting it in preserves manifest bytes.
+					obsCellsResumed.Inc()
+					results[i] = res
+				} else {
+					obsCellsStarted.Inc()
+					co := opts.Telemetry.StartCell(cells[i].Key(), w)
+					results[i], errs[i] = runCellGuarded(spec, cells[i], policies, opts, shared, co)
+					co.Done()
+					obsCellsDone.Inc()
+					if errs[i] == nil && cp != nil {
+						errs[i] = cp.append(i, cells[i].canonicalKey(), results[i])
+					}
+				}
 				if opts.Progress != nil {
 					mu.Lock()
 					opts.Progress(int(done.Add(1)), len(cells), cells[i], time.Since(start))
@@ -342,7 +426,7 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 		prefetchWG.Add(1)
 		go func() {
 			defer prefetchWG.Done()
-			prefetch(spec, cells, opts, shared, claims)
+			prefetch(spec, cells, opts, shared, restored, claims)
 		}()
 	}
 	wg.Wait()
@@ -358,9 +442,102 @@ func Run(spec MatrixSpec, opts RunOptions) (*RunManifest, error) {
 	return &RunManifest{
 		Version:           ManifestVersion,
 		Spec:              spec,
-		ScheduleCacheHits: int(shared.schedHits.Load()),
+		ScheduleCacheHits: expectedScheduleHits(cells),
 		Cells:             results,
 	}, nil
+}
+
+// expectedScheduleHits is the manifest's ScheduleCacheHits: cells minus
+// distinct (dataset, model) pairs. It is derived from the spec rather than
+// measured because the measured count is an execution artifact — a resumed
+// run requests fewer entries (restored cells never ask) and a retried cell
+// can request twice — while manifest bytes must depend on (spec, seed)
+// alone. For every uninterrupted, fault-free run the two are equal: each
+// distinct pair misses exactly once and every other request hits.
+func expectedScheduleHits(cells []CellSpec) int {
+	distinct := make(map[string]struct{}, len(cells))
+	for _, c := range cells {
+		distinct[c.Dataset.key()+"|"+c.Model.key()] = struct{}{}
+	}
+	return len(cells) - len(distinct)
+}
+
+// runCellGuarded is the crash-safety wrapper around one cell: panic
+// isolation (runCellRecovered), an optional per-attempt watchdog
+// (runCellAttempt), and bounded retries with capped exponential backoff.
+// Retrying is sound because cell results are pure functions of (spec, seed)
+// and the shared caches never memoize failures.
+func runCellGuarded(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches, co *obs.CellObs) (CellResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := runCellAttempt(spec, cell, policies, opts, shared, co)
+		if err == nil || attempt >= opts.MaxRetries {
+			return res, err
+		}
+		obsCellsRetried.Inc()
+		time.Sleep(retryBackoff(opts.RetryBackoff, attempt))
+	}
+}
+
+// retryBackoff returns the delay before the retry following failed attempt
+// `attempt` (0-based): base<<attempt, capped at 5s.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	const ceiling = 5 * time.Second
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if attempt > 20 { // base is at least 50ms; 50ms<<20 already overshoots the cap
+		return ceiling
+	}
+	if d := base << uint(attempt); d > 0 && d < ceiling {
+		return d
+	}
+	return ceiling
+}
+
+// runCellAttempt runs one isolated attempt, racing it against the watchdog
+// when CellTimeout is set. A timed-out attempt's goroutine is abandoned (core
+// has no cancellation plumbing); it eventually finishes into the buffered
+// channel and its result is discarded. The shared caches stay coherent under
+// abandonment — lazy computes are pure and complete under their entry lock —
+// so a retry or a sibling cell reusing an entry is safe.
+func runCellAttempt(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches, co *obs.CellObs) (CellResult, error) {
+	if opts.CellTimeout <= 0 {
+		return runCellRecovered(spec, cell, policies, opts, shared, co)
+	}
+	type outcome struct {
+		res CellResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := runCellRecovered(spec, cell, policies, opts, shared, co)
+		ch <- outcome{r, e}
+	}()
+	watchdog := time.NewTimer(opts.CellTimeout)
+	defer watchdog.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-watchdog.C:
+		return CellResult{}, fmt.Errorf("harness: cell attempt exceeded %v timeout", opts.CellTimeout)
+	}
+}
+
+// runCellRecovered is the cell isolation boundary: a panic anywhere in the
+// cell's synchronous call tree (core's sweep workers and pipelined build
+// carry their own boundaries) becomes this cell's error instead of killing
+// the process, so sibling cells finish and the checkpoint journal stays
+// intact.
+func runCellRecovered(spec MatrixSpec, cell CellSpec, policies []replica.Policy, opts RunOptions, shared *caches, co *obs.CellObs) (res CellResult, err error) {
+	defer func() {
+		//dosn:recover cell isolation boundary: a panicking cell (injected fault or real bug) becomes a CellResult error; siblings and the journal survive
+		if r := recover(); r != nil {
+			obsCellsRecovered.Inc()
+			res = CellResult{}
+			err = fault.PanicError("harness: cell "+cell.Key(), r, debug.Stack())
+		}
+	}()
+	return runCell(spec, cell, policies, opts, shared, co)
 }
 
 // runCell executes one cell's replication-degree sweep. FriendReplica cells

@@ -1,8 +1,9 @@
-// Package lint implements the dosn-vet static-analysis suite: four
+// Package lint implements the dosn-vet static-analysis suite: five
 // repository-specific analyzers that enforce, at review time, the invariants
 // the test suite can only check dynamically — deterministic execution
-// (detrand, maporder), int32 CSR overflow safety (int32cast), and
-// allocation-free hot paths (hotalloc).
+// (detrand, maporder), int32 CSR overflow safety (int32cast),
+// allocation-free hot paths (hotalloc), and sanctioned panic-recovery
+// boundaries (saferecover).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Diagnostic) but is built on the standard library alone: packages are
@@ -58,7 +59,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Analyzers returns the full dosn-vet suite in the order findings are
 // conventionally listed.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, Int32Cast, HotAlloc}
+	return []*Analyzer{DetRand, MapOrder, Int32Cast, HotAlloc, SafeRecover}
 }
 
 // Finding pairs a diagnostic with the analyzer that produced it and its

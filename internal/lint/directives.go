@@ -25,6 +25,9 @@ const (
 	// package: the reading feeds execution-only instrumentation, never a
 	// result.
 	DirectiveWallClock = "wallclock"
+	// DirectiveRecover sanctions one recover() call: the boundary converts
+	// the panic to an error (fault.PanicError) instead of swallowing it.
+	DirectiveRecover = "recover"
 )
 
 const directivePrefix = "//dosn:"

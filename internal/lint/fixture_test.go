@@ -159,6 +159,10 @@ func TestHotAllocFixtures(t *testing.T) {
 	runFixture(t, HotAlloc, filepath.Join("testdata", "hotalloc", "fixture"))
 }
 
+func TestSafeRecoverFixtures(t *testing.T) {
+	runFixture(t, SafeRecover, filepath.Join("testdata", "saferecover", "fixture"))
+}
+
 // TestRepoIsClean is the smoke gate: the dosn-vet suite must exit clean on
 // the repository itself. A finding here means either a real regression or a
 // fix/waiver that lost its justification.

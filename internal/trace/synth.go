@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"dosn/internal/fault"
 	"dosn/internal/obs"
 	"dosn/internal/socialgraph"
 )
@@ -19,6 +20,11 @@ var (
 	obsActivities = obs.C("trace.activities_generated")
 	obsSynthTimer = obs.T("trace.synthesize")
 )
+
+// faultSynthesize sits at the head of dataset synthesis — the largest
+// single allocation in a matrix run — so chaos tests can model OOM-like
+// failures at the point a cell first touches bulk memory.
+var faultSynthesize = fault.NewSite("trace.synthesize")
 
 // Paper-reported sizes of the filtered traces; used by the "paper" scale.
 const (
@@ -159,6 +165,9 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 // which the filter's own Reindex would discard wholesale — are never built.
 func synthesizeColumns(cfg SynthConfig) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := faultSynthesize.InjectSeeded(cfg.Seed); err != nil {
 		return nil, err
 	}
 	sp := obsSynthTimer.Begin()
